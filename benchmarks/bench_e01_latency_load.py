@@ -1,0 +1,22 @@
+"""Benchmark e01: E01: CR vs DOR latency/throughput vs load (headline comparison).
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e01_latency_load as experiment
+
+
+def test_e01_latency_load(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # CR must dominate DOR at equal resources: lower latency at every
+    # load and a higher saturation throughput.
+    cr = [r for r in rows if r['config'] == 'cr_2vc']
+    dor = [r for r in rows if r['config'] == 'dor_2vc']
+    top_load = max(r['load'] for r in rows)
+    cr_top = next(r for r in cr if r['load'] == top_load)
+    dor_top = next(r for r in dor if r['load'] == top_load)
+    assert cr_top['throughput'] >= dor_top['throughput']

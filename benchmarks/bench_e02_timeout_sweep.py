@@ -1,0 +1,18 @@
+"""Benchmark e02: E02: CR source-timeout sensitivity.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e02_timeout_sweep as experiment
+
+
+def test_e02_timeout_sweep(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # Short timeouts over-kill; the kill count must fall as the
+    # timeout grows.
+    kills = [r['kills'] for r in rows]
+    assert kills[0] >= kills[-1]

@@ -1,0 +1,23 @@
+"""Benchmark e03: E03 / Fig 11: static retransmission gaps vs dynamic backoff.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e03_fig11_backoff as experiment
+
+
+def test_e03_fig11_backoff(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # The dynamic scheme must stay close to the best static gap at
+    # every load (within 40% of the per-load minimum latency).
+    from collections import defaultdict
+    by_load = defaultdict(dict)
+    for r in rows:
+        by_load[r['load']][r['config']] = r['latency_mean']
+    for load, curves in by_load.items():
+        best_static = min(v for k, v in curves.items() if k != 'dynamic')
+        assert curves['dynamic'] <= best_static * 1.4, (load, curves)

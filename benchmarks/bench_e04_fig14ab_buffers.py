@@ -1,0 +1,22 @@
+"""Benchmark e04: E04 / Fig 14(a,b): CR 2-flit buffers vs DOR deep FIFOs.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e04_fig14ab_buffers as experiment
+
+
+def test_e04_fig14ab_buffers(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # The paper: CR with 2-flit buffers matches DOR with 16-flit
+    # FIFOs.  At the top load CR must be within 10% of (or beat) the
+    # deepest DOR configuration's throughput in part (a).
+    part_a = [r for r in rows if r['part'] == 'a']
+    top = max(r['load'] for r in part_a)
+    at_top = {r['config']: r for r in part_a if r['load'] == top}
+    assert at_top['cr_d2']['throughput'] >= \
+        0.9 * at_top['dor_d16']['throughput']

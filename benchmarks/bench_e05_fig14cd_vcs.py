@@ -1,0 +1,19 @@
+"""Benchmark e05: E05 / Fig 14(c,d): virtual channels under a fixed buffer budget.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e05_fig14cd_vcs as experiment
+
+
+def test_e05_fig14cd_vcs(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # More CR lanes must not lose throughput at the top load.
+    top = max(r['load'] for r in rows)
+    at_top = {r['config']: r for r in rows if r['load'] == top}
+    assert at_top['cr_2vc_d2']['throughput'] >= \
+        0.8 * at_top['cr_1vc_d2']['throughput']

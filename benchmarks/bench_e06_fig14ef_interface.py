@@ -1,0 +1,19 @@
+"""Benchmark e06: E06 / Fig 14(e,f): multiple source/sink channels.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e06_fig14ef_interface as experiment
+
+
+def test_e06_fig14ef_interface(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # Widening the interface must raise CR's saturated throughput.
+    top = max(r['load'] for r in rows)
+    at_top = {r['config']: r for r in rows if r['load'] == top}
+    assert at_top['cr_4ch']['throughput'] >= \
+        at_top['cr_1ch']['throughput']

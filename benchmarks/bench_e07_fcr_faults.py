@@ -1,0 +1,20 @@
+"""Benchmark e07: E07: FCR across transient fault rates (nonstop integrity).
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e07_fcr_faults as experiment
+
+
+def test_e07_fcr_faults(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    for r in rows:
+        assert r['corrupt_deliveries'] == 0
+        assert r['late_corruption'] == 0
+    # Higher fault rates must trigger more recoveries.
+    recoveries = [r['fkills'] + r['header_kills'] for r in rows]
+    assert recoveries[-1] > recoveries[0]

@@ -1,0 +1,16 @@
+"""Benchmark e08: E08: FCR with permanent link faults (kill-and-retry + misroute).
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e08_fcr_permanent as experiment
+
+
+def test_e08_fcr_permanent(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    for r in rows:
+        assert r['undelivered'] == 0, r

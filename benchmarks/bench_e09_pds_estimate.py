@@ -1,0 +1,16 @@
+"""Benchmark e09: E09: potential-deadlock-situation estimate via Duato escapes.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e09_pds_estimate as experiment
+
+
+def test_e09_pds_estimate(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # Escape usage (the PDS proxy) must grow with offered load.
+    assert rows[-1]['escape_grants'] >= rows[0]['escape_grants']

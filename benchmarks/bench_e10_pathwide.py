@@ -1,0 +1,20 @@
+"""Benchmark e10: E10: source-based vs path-wide timeout ablation.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e10_pathwide as experiment
+
+
+def test_e10_pathwide(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # The short path-wide monitor must over-kill relative to the
+    # source-based scheme at the top load (unnecessary kills).
+    top = max(r['load'] for r in rows)
+    at_top = {r['scheme']: r for r in rows if r['load'] == top}
+    assert at_top['path_wide_16']['kills'] >= \
+        at_top['source_scaled']['kills']

@@ -1,0 +1,20 @@
+"""Benchmark e11: E11: padding overhead vs length, distance, buffer depth.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e11_padding as experiment
+
+
+def test_e11_padding(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    analytic = [r for r in rows if r['hops'] != 'sim']
+    # Overhead falls with payload and rises with buffer depth.
+    for depth in (1, 2, 4, 8):
+        ovs = [r['overhead'] for r in analytic
+               if r['buffer_depth'] == depth]
+        assert ovs == sorted(ovs, reverse=True)

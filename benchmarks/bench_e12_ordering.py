@@ -1,0 +1,17 @@
+"""Benchmark e12: E12: order preservation under kill/retry.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e12_ordering as experiment
+
+
+def test_e12_ordering(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    for r in rows:
+        assert r['fifo_violations'] == 0
+        assert r['pairs_checked'] > 0

@@ -1,0 +1,18 @@
+"""Benchmark e13: E13 ext: bimodal traffic, per-class latency.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+claim recorded for this artifact in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e13_bimodal as experiment
+
+
+def test_e13_bimodal(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # Long messages must cost more than short ones in both schemes.
+    for r in rows:
+        if r['short_n'] and r['long_n']:
+            assert r['long_mean'] > r['short_mean'] * 0.8, r

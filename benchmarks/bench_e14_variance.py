@@ -1,0 +1,20 @@
+"""Benchmark e14: E14 ext: latency variance under kill/retry.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+claim recorded for this artifact in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e14_variance as experiment
+
+
+def test_e14_variance(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # The kill counter must be plausible: some message was retried
+    # at the top CR load.
+    top = max(r['load'] for r in rows)
+    cr_top = next(r for r in rows
+                  if r['routing'] == 'cr' and r['load'] == top)
+    assert cr_top['max_kills_one_msg'] >= 1

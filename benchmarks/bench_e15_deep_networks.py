@@ -1,0 +1,21 @@
+"""Benchmark e15: E15 ext: deep networks (channel latency).
+
+Regenerates the experiment's table at the QUICK scale and checks the
+claim recorded for this artifact in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e15_deep_networks as experiment
+
+
+def test_e15_deep_networks(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # CR's padding must grow with channel depth; DOR's stays zero.
+    cr = [r for r in rows if r['routing'] == 'cr']
+    cr.sort(key=lambda r: r['channel_latency'])
+    pads = [r['pad_overhead'] for r in cr]
+    assert pads == sorted(pads)
+    assert all(r['pad_overhead'] == 0 for r in rows
+               if r['routing'] == 'dor')

@@ -1,0 +1,17 @@
+"""Benchmark e16: E16 ext: VC-free schemes on a mesh.
+
+Regenerates the experiment's table at the QUICK scale and checks the
+claim recorded for this artifact in DESIGN.md / EXPERIMENTS.md.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e16_mesh_novc as experiment
+
+
+def test_e16_mesh_novc(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    # On transpose, full adaptivity (CR) must beat deterministic DOR.
+    tr = {r['routing']: r for r in rows if r['pattern'] == 'transpose'}
+    assert tr['cr']['throughput'] >= tr['dor']['throughput']

@@ -1,0 +1,24 @@
+"""Benchmark e17: ablation -- recovery vs adaptivity.
+
+Regenerates the ablation table at the QUICK scale and checks the design
+claim: the performance win comes from adaptivity (cr_1vc), while
+recovery alone (dor+cr_1vc) merely buys back the dateline VCs.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e17_ablation as experiment
+
+
+def test_e17_ablation(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    top = max(r["load"] for r in rows)
+    at_top = {r["config"]: r for r in rows if r["load"] == top}
+    # Full CR must beat the recovery-only variant at saturation.
+    assert at_top["cr_1vc"]["throughput"] >= \
+        at_top["dor+cr_1vc"]["throughput"]
+    # The recovery-only variant must actually be exercising recovery.
+    assert any(
+        r["kill_rate"] > 0 for r in rows if r["config"] == "dor+cr_1vc"
+    )

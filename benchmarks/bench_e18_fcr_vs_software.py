@@ -1,0 +1,28 @@
+"""Benchmark e18: FCR vs software ack/retry reliability.
+
+Regenerates the comparison table at the QUICK scale and checks the
+robustness claim: FCR never loses a message at any fault rate, and its
+latency degrades far more gracefully than the software layer's (whose
+fixed retry timer and ack round-trips compound under fault pressure).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e18_fcr_vs_software as experiment
+
+
+def test_e18_fcr_vs_software(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    fcr = {r["fault_rate"]: r for r in rows if r["scheme"] == "fcr"}
+    swr = {r["fault_rate"]: r for r in rows if r["scheme"] == "swr"}
+    # FCR: nonstop -- zero losses at every fault rate.
+    assert all(r["lost"] == 0 for r in fcr.values())
+    # Relative latency inflation under the top fault rate: FCR degrades
+    # more gracefully than the software layer.
+    top = max(fcr)
+    fcr_inflation = fcr[top]["latency"] / max(fcr[0.0]["latency"], 1)
+    swr_inflation = swr[top]["latency"] / max(swr[0.0]["latency"], 1)
+    assert fcr_inflation < swr_inflation
+    # The software layer pays in control traffic: one ACK per delivery.
+    assert swr[0.0]["acks"] >= swr[0.0]["goodput_msgs"]

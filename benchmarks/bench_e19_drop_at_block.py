@@ -1,0 +1,26 @@
+"""Benchmark e19: CR vs drop-at-block (Related Work, paper Section 8).
+
+Regenerates the comparison table at the QUICK scale and checks the
+paper's positioning: dropping may win raw utilisation (it fires on every
+conflict, clearing secondary blocking), but it multiplies kills and
+forfeits order preservation -- the practicality CR adds.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e19_drop_at_block as experiment
+
+
+def test_e19_drop_at_block(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    top = max(r["load"] for r in rows)
+    cr = next(r for r in rows if r["scheme"] == "cr" and r["load"] == top)
+    drop = next(
+        r for r in rows if r["scheme"] == "drop" and r["load"] == top
+    )
+    # Dropping fires on every conflict: more kills than timeout-based CR.
+    assert drop["kills"] > cr["kills"]
+    # CR keeps per-pair FIFO under kill pressure; drop-and-retry cannot.
+    assert cr["fifo_violations"] == 0
+    assert drop["fifo_violations"] > 0

@@ -1,0 +1,33 @@
+"""Benchmark e20: CR vs pipelined circuit switching.
+
+Regenerates the comparison and checks the structural expectations: both
+schemes deliver everything (healthy and faulted), PCS's recovery effort
+shows up as cheap probe backtracks (numerous) rather than wasted data
+transmissions, and probes do fail and retry under load.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e20_pcs as experiment
+
+
+def test_e20_pcs(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    assert all(r["undelivered"] == 0 for r in rows)
+    top = max(r["load"] for r in rows if r["part"] == "healthy")
+    pcs_top = next(
+        r for r in rows
+        if r["scheme"] == "pcs" and r["load"] == top
+        and r["part"] == "healthy"
+    )
+    cr_top = next(
+        r for r in rows
+        if r["scheme"] == "cr" and r["load"] == top
+        and r["part"] == "healthy"
+    )
+    # Probes search constantly: far more (cheap) recovery events than
+    # CR's (expensive) kills...
+    assert pcs_top["recovery_events"] > cr_top["recovery_events"]
+    # ...and some probe attempts fail outright and are retried.
+    assert pcs_top["setup_failures"] > 0

@@ -1,0 +1,28 @@
+"""Benchmark e21: latency distribution (Section 7 discussion).
+
+Checks the distribution's documented shape: most CR messages deliver
+unkilled, and the kill-count distribution is geometric-ish (each extra
+kill is rarer than the last).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e21_latency_distribution as experiment
+
+
+def test_e21_latency_distribution(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    kill_rows = [
+        r for r in rows if str(r["latency_bin"]).startswith("cr killed")
+    ]
+    assert kill_rows, "kill-count distribution missing"
+    counts = [int(r["cr"]) for r in kill_rows]
+    # The modal experience is zero kills...
+    assert counts[0] == max(counts)
+    # ...and the latency histogram covers both schemes.
+    latency_rows = [
+        r for r in rows if not str(r["latency_bin"]).startswith("cr killed")
+    ]
+    assert sum(int(r["cr"]) for r in latency_rows) > 0
+    assert sum(int(r["dor"] or 0) for r in latency_rows) > 0

@@ -1,0 +1,30 @@
+"""Benchmark e22: clock-adjusted synthesis of simulation + cost model.
+
+Checks the compounding: whatever the cycle-count picture, charging each
+scheme its achievable cycle time (T02) must widen CR's advantage over
+the 3-VC Duato router and keep CR ahead of DOR in wall-clock throughput
+at the top load.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e22_clock_adjusted as experiment
+
+
+def test_e22_clock_adjusted(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    top = max(r["load"] for r in rows)
+    at_top = {r["scheme"]: r for r in rows if r["load"] == top}
+    # CR's router clocks faster than both baselines in the model...
+    assert at_top["cr"]["clock_ns"] < at_top["dor"]["clock_ns"]
+    assert at_top["cr"]["clock_ns"] < at_top["duato"]["clock_ns"]
+    # ...so its wall-clock throughput lead at saturation must hold.
+    assert (
+        at_top["cr"]["throughput_flits_us"]
+        >= at_top["dor"]["throughput_flits_us"]
+    )
+    assert (
+        at_top["cr"]["throughput_flits_us"]
+        >= at_top["duato"]["throughput_flits_us"] * 0.9
+    )

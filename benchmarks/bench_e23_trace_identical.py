@@ -1,0 +1,22 @@
+"""Benchmark e23: the headline comparison on byte-identical workloads.
+
+Checks that E01's conclusion survives methodology hardening: with the
+*same* recorded arrivals replayed into both schemes (no blocked-source
+coupling), CR completes the saturating workloads sooner than DOR, and
+both deliver every message.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import e23_trace_identical as experiment
+
+
+def test_e23_trace_identical(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    assert all(r["undelivered"] == 0 for r in rows)
+    assert all(r["delivered"] == r["workload_msgs"] for r in rows)
+    top = max(r["load"] for r in rows)
+    cr = next(r for r in rows if r["scheme"] == "cr" and r["load"] == top)
+    dor = next(r for r in rows if r["scheme"] == "dor" and r["load"] == top)
+    assert cr["makespan"] < dor["makespan"]

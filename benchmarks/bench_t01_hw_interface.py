@@ -1,0 +1,16 @@
+"""Benchmark t01: T01: interface hardware inventory (Section 5 / Fig 8).
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import t01_hw_interface as experiment
+
+
+def test_t01_hw_interface(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    gates = {r['interface']: r['total_gates'] for r in rows}
+    assert gates['plain'] < gates['cr'] < gates['fcr']

@@ -1,0 +1,17 @@
+"""Benchmark t02: T02: router critical-path model (after Chien 93).
+
+Regenerates the experiment's table at the QUICK scale and checks the
+paper's qualitative claim for this artifact (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import t02_hw_router as experiment
+
+
+def test_t02_hw_router(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    delays = {r['router']: r['total_ns'] for r in rows}
+    assert delays['CR'] < delays['Duato']
+    assert delays['CR'] <= delays['DOR'] * 1.1

@@ -1,0 +1,23 @@
+"""Benchmark t03: cost-normalised buffer-organisation table.
+
+Checks the economic claim behind Fig. 14(a-d): CR's shallow-buffer
+organisation delivers more throughput per flit of buffer storage than
+any deep-FIFO DOR organisation.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import t03_buffer_cost as experiment
+
+
+def test_t03_buffer_cost(benchmark, scale):
+    rows = run_experiment(benchmark, experiment, scale)
+    assert rows
+    by_name = {r["organisation"]: r for r in rows}
+    cr = by_name["cr_2vc_d2"]
+    for name, row in by_name.items():
+        if name.startswith("dor"):
+            assert cr["thr_per_buffer_flit"] >= row["thr_per_buffer_flit"], (
+                name,
+                row,
+            )

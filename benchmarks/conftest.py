@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` file regenerates one table or figure of the paper's
+evaluation at the QUICK scale (8-ary 2-torus, short runs) and prints the
+rows, so ``pytest benchmarks/ --benchmark-only`` doubles as the full
+reproduction run.  Timings are captured with a single round -- these are
+simulation harnesses, not micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The scale every benchmark runs at."""
+    return QUICK
+
+
+def run_experiment(benchmark, module, scale):
+    """Time one experiment module and print its reproduction table."""
+    rows = benchmark.pedantic(
+        lambda: module.run(scale), rounds=1, iterations=1
+    )
+    print()
+    print(module.table(rows))
+    return rows

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Tuning CR's retransmission gap (the paper's Fig. 11 in miniature).
+
+When a kill fires, how long should the source wait before retrying?
+Retry immediately and the same contenders re-create the same conflict;
+wait a fixed long gap and low-load latency suffers.  The paper's answer
+is binary exponential backoff ("quite similar to ... Ethernet"), which
+adapts the gap to the observed kill pressure.
+
+This example sweeps static gaps against the dynamic scheme at a low and
+a high load, printing the latency each achieves.
+
+Run:  python examples/backoff_tuning.py
+"""
+
+from repro import (
+    ExponentialBackoff,
+    FixedTimeout,
+    SimConfig,
+    StaticGap,
+    format_table,
+    run_simulation,
+)
+
+
+def main() -> None:
+    base = SimConfig(
+        radix=8,
+        dims=2,
+        routing="cr",
+        num_vcs=1,
+        message_length=16,
+        timeout=FixedTimeout(32),  # the Fig. 11 setting
+        warmup=300,
+        measure=1500,
+        drain=6000,
+        seed=3,
+    )
+    schemes = [(f"static {gap}", StaticGap(gap)) for gap in (4, 32, 256)]
+    schemes.append(("dynamic (BEB)", ExponentialBackoff(slot_cycles=16)))
+
+    rows = []
+    for load in (0.1, 0.3):
+        for name, backoff in schemes:
+            result = run_simulation(base.with_(load=load, backoff=backoff))
+            rows.append(
+                {
+                    "load": load,
+                    "scheme": name,
+                    "latency": result.latency,
+                    "p95": result.report["latency_p95"],
+                    "kills": result.report.get("kills", 0),
+                    "throughput": result.throughput,
+                }
+            )
+    print(
+        format_table(
+            rows,
+            ["load", "scheme", "latency", "p95", "kills", "throughput"],
+            title="Retransmission-gap tuning (timeout = 32 cycles)",
+        )
+    )
+    print(
+        "\nReading: no single static gap wins at both loads; the "
+        "dynamic scheme tracks the best static setting at each load "
+        "without tuning -- the paper's Fig. 11 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""FCR surviving transient corruption and links dying mid-run.
+
+Fault-tolerant Compressionless Routing pads every message far enough
+that a receiver-detected corruption (FKILL) always reaches the source
+before the source lets go of the message -- so every fault becomes a
+transparent retransmission, never a lost or corrupt delivery, with no
+software buffering or acknowledgement traffic.
+
+The scenario: an 8x8 torus at 10% load where
+  * every flit-hop is corrupted with probability 1e-3, and
+  * two bidirectional links die at cycle 1000, while traffic is flying.
+
+The run asserts the paper's guarantees: zero corrupt deliveries, zero
+lost messages, FIFO order intact.
+
+Run:  python examples/fault_tolerant_link.py
+"""
+
+from repro import (
+    ChannelFault,
+    PermanentFaultSchedule,
+    SimConfig,
+    format_table,
+    run_simulation,
+)
+
+
+def main() -> None:
+    dying_links = PermanentFaultSchedule(
+        [
+            ChannelFault(1000, 0, 1),
+            ChannelFault(1000, 1, 0),
+            ChannelFault(1000, 20, 28),
+            ChannelFault(1000, 28, 20),
+        ]
+    )
+    config = SimConfig(
+        radix=8,
+        dims=2,
+        routing="fcr",
+        misrouting=True,       # detour when a fault cuts all minimal paths
+        fault_rate=5e-4,       # transient corruption per flit-hop
+        fault_model=dying_links,
+        load=0.1,
+        message_length=16,
+        warmup=300,
+        measure=1500,
+        drain=40000,           # FCR worms are long; retries need room
+        seed=11,
+    )
+    result = run_simulation(config)
+    report = result.report
+
+    rows = [
+        {"metric": "messages delivered",
+         "value": report["messages_delivered"]},
+        {"metric": "messages lost", "value": report["undelivered"]},
+        {"metric": "corrupt deliveries",
+         "value": report.get("corrupt_deliveries", 0)},
+        {"metric": "faults injected", "value": report.get(
+            "faults_injected", 0)},
+        {"metric": "FKILLs (receiver-initiated)",
+         "value": report.get("kills_fkill", 0)},
+        {"metric": "header-fault kills (router-initiated)",
+         "value": report.get("kills_header_fault", 0)},
+        {"metric": "timeout kills", "value": report.get(
+            "kills_source_timeout", 0)},
+        {"metric": "misroute hops (around dead links)",
+         "value": report.get("misroute_hops", 0)},
+        {"metric": "mean latency", "value": report["latency_mean"]},
+        {"metric": "p99 latency", "value": report["latency_p99"]},
+    ]
+    print(format_table(rows, ["metric", "value"],
+                       title="FCR under transient + permanent faults"))
+
+    assert report["undelivered"] == 0, "a message was lost!"
+    assert report.get("corrupt_deliveries", 0) == 0, "corruption leaked!"
+    assert report.get("late_corruption", 0) == 0, "FKILL window missed!"
+    pairs = result.ledger.validate_fifo()
+    print(f"\nguarantees held: exactly-once, no corruption, FIFO over "
+          f"{pairs} pairs -- with zero software retry machinery")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: run Compressionless Routing on a torus and read the stats.
+
+Builds an 8-ary 2-torus, drives it with uniform random traffic at 30% of
+capacity under CR (fully adaptive routing, ONE virtual channel, deadlock
+recovery by timeout/kill/retransmit), and prints what happened.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimConfig, format_table, run_simulation
+
+
+def main() -> None:
+    config = SimConfig(
+        topology="torus",
+        radix=8,
+        dims=2,
+        routing="cr",        # Compressionless Routing
+        num_vcs=1,           # the headline: no virtual channels needed
+        buffer_depth=2,      # the paper's CR buffer organisation
+        message_length=16,   # flits per message
+        load=0.3,            # fraction of theoretical capacity
+        warmup=500,
+        measure=2000,
+        drain=5000,
+        seed=1,
+    )
+    result = run_simulation(config)
+
+    report = result.report
+    rows = [
+        {"metric": "mean latency (cycles)", "value": report["latency_mean"]},
+        {"metric": "p95 latency", "value": report["latency_p95"]},
+        {"metric": "throughput (flits/node/cycle)",
+         "value": report["throughput"]},
+        {"metric": "messages delivered",
+         "value": report["messages_delivered"]},
+        {"metric": "kills (potential deadlocks broken)",
+         "value": report.get("kills", 0)},
+        {"metric": "retransmissions", "value": report.get(
+            "retransmissions", 0)},
+        {"metric": "padding overhead", "value": report["pad_overhead"]},
+        {"metric": "fully drained", "value": result.drained},
+    ]
+    print(format_table(rows, ["metric", "value"],
+                       title="CR on an 8-ary 2-torus, uniform traffic, "
+                             "load 0.3"))
+
+    # The delivery ledger checked exactly-once delivery online; FIFO
+    # order per (src, dst) pair is validated here.
+    pairs = result.ledger.validate_fifo()
+    print(f"\norder preservation: FIFO verified over {pairs} "
+          "communicating pairs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Render channel heat maps: where deterministic vs adaptive traffic goes.
+
+Runs bit-reversal traffic through DOR and through CR on the same torus
+and writes one SVG per scheme (links coloured by flits carried, routers
+shaded by buffered flits).  DOR's picture shows a few scorched paths;
+CR's shows the same traffic smeared across the fabric -- the visual
+version of the channel-imbalance statistic.
+
+Run:  python examples/visualize_network.py
+Then open cr_heat.svg / dor_heat.svg in any browser.
+"""
+
+from repro import SimConfig, channel_load_stats, render_network_svg
+
+
+def run_and_render(routing: str, path: str) -> dict:
+    engine = SimConfig(
+        routing=routing,
+        radix=8,
+        dims=2,
+        num_vcs=2,
+        pattern="bit_reversal",
+        load=0.3,
+        message_length=8,
+        warmup=0,
+        measure=1200,
+        drain=0,
+        seed=5,
+    ).build()
+    engine.run(1200)
+    svg = render_network_svg(
+        engine, title=f"{routing} / bit reversal / load 0.3"
+    )
+    with open(path, "w") as handle:
+        handle.write(svg)
+    return channel_load_stats(engine)
+
+
+def main() -> None:
+    for routing, path in (("cr", "cr_heat.svg"), ("dor", "dor_heat.svg")):
+        stats = run_and_render(routing, path)
+        print(
+            f"{routing}: wrote {path}  "
+            f"(utilisation {stats['utilisation']:.3f} flits/channel/cycle, "
+            f"imbalance {stats['imbalance']:.2f})"
+        )
+    print(
+        "\nThe imbalance number is the max/mean channel load: adaptive "
+        "CR should sit well below deterministic DOR on this permutation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,227 @@
+"""Compressionless Routing (CR/FCR) -- reproduction library.
+
+Reproduces Kim, Liu & Chien, "Compressionless Routing: A Framework for
+Adaptive and Fault-tolerant Routing" (ISCA 1994 / IEEE TPDS): a
+flit-level wormhole-network simulator, the CR and FCR network-interface
+protocols, the paper's baselines (dimension-order, Duato, turn-model
+routing), fault models, and the experiment harness that regenerates the
+paper's evaluation.
+
+Quick start::
+
+    from repro import SimConfig, run_simulation
+
+    result = run_simulation(SimConfig(routing="cr", radix=8, load=0.4))
+    print(result.latency, result.throughput)
+"""
+
+from .core.backoff import ExponentialBackoff, RetransmitPolicy, StaticGap
+from .core.guarantees import DeliveryLedger, GuaranteeViolation, OrderGate
+from .core.padding import (
+    PaddingParams,
+    cr_min_injection_length,
+    cr_wire_length,
+    fcr_wire_length,
+    padding_overhead,
+    path_capacity,
+)
+from .core.protocol import (
+    KillCause,
+    MessagePhase,
+    ProtocolConfig,
+    ProtocolMode,
+)
+from .core.swretry import SoftwareReliability
+from .core.timeout import (
+    FixedTimeout,
+    LengthScaledTimeout,
+    PathWideTimeout,
+    TimeoutPolicy,
+)
+from .faults.model import CompositeFaultModel, FaultModel, NoFaults
+from .faults.permanent import (
+    ChannelFault,
+    PermanentFaultSchedule,
+    kill_router,
+    random_channel_faults,
+)
+from .faults.transient import TransientFaults
+from .network.engine import Engine, NetworkDeadlockError
+from .network.message import Message
+from .network.network import WormholeNetwork
+from .routing.base import Candidate, RoutingFunction
+from .routing.dor import DimensionOrder
+from .routing.duato import Duato
+from .routing.minimal_adaptive import MinimalAdaptive, NaiveAdaptive
+from .routing.misrouting import MisroutingAdaptive
+from .routing.selection import (
+    FirstFree,
+    LeastOccupied,
+    RandomFree,
+    SelectionPolicy,
+    make_selection,
+)
+from .routing.turnmodel import NegativeFirst
+from .sim.config import SCHEMES, SimConfig
+from .sim.simulator import SimResult, run_simulation
+from .sim.export import read_csv, rows_to_csv
+from .sim.replicate import replicate, significantly_better
+from .sim.sweep import load_sweep, matrix_sweep, param_sweep, saturation_load
+from .stats.collector import StatsCollector
+from .stats.latency import LatencySummary, histogram, percentile, summarize
+from .stats.report import format_series, format_table
+from .analysis.latency_model import (
+    cr_latency,
+    fcr_latency,
+    mean_uniform_latency,
+    pcs_latency,
+    plain_latency,
+)
+from .stats.svg import render_network_svg
+from .stats.trace import (
+    buffer_occupancy,
+    channel_heatmap,
+    channel_load_stats,
+    format_timeline,
+    message_timeline,
+    occupancy_snapshot,
+)
+from .topology.base import LinkSpec, Topology
+from .topology.graph import GraphTopology
+from .topology.hypercube import Hypercube
+from .topology.torus import KAryNCube, mesh, torus
+from .traffic.generator import TrafficGenerator
+from .traffic.lengths import BimodalLength, FixedLength, LengthDistribution
+from .traffic.loads import capacity_flits_per_node_cycle, injection_rate
+from .traffic.trace import (
+    Trace,
+    TraceEntry,
+    TraceReplayGenerator,
+    record_trace,
+)
+from .traffic.patterns import (
+    BitReversal,
+    Complement,
+    Hotspot,
+    NearestNeighbour,
+    TrafficPattern,
+    Transpose,
+    Uniform,
+    make_pattern,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # simulation entry points
+    "SimConfig",
+    "SimResult",
+    "run_simulation",
+    "load_sweep",
+    "param_sweep",
+    "matrix_sweep",
+    "saturation_load",
+    "replicate",
+    "significantly_better",
+    "rows_to_csv",
+    "read_csv",
+    "SCHEMES",
+    # core protocol
+    "ProtocolConfig",
+    "ProtocolMode",
+    "MessagePhase",
+    "KillCause",
+    "PaddingParams",
+    "path_capacity",
+    "cr_min_injection_length",
+    "cr_wire_length",
+    "fcr_wire_length",
+    "padding_overhead",
+    "TimeoutPolicy",
+    "FixedTimeout",
+    "LengthScaledTimeout",
+    "PathWideTimeout",
+    "RetransmitPolicy",
+    "StaticGap",
+    "ExponentialBackoff",
+    "OrderGate",
+    "DeliveryLedger",
+    "GuaranteeViolation",
+    "SoftwareReliability",
+    # network substrate
+    "Engine",
+    "NetworkDeadlockError",
+    "WormholeNetwork",
+    "Message",
+    # routing
+    "RoutingFunction",
+    "Candidate",
+    "DimensionOrder",
+    "MinimalAdaptive",
+    "NaiveAdaptive",
+    "MisroutingAdaptive",
+    "Duato",
+    "NegativeFirst",
+    "SelectionPolicy",
+    "FirstFree",
+    "RandomFree",
+    "LeastOccupied",
+    "make_selection",
+    # topology
+    "Topology",
+    "LinkSpec",
+    "KAryNCube",
+    "torus",
+    "mesh",
+    "Hypercube",
+    "GraphTopology",
+    # faults
+    "FaultModel",
+    "NoFaults",
+    "CompositeFaultModel",
+    "TransientFaults",
+    "ChannelFault",
+    "PermanentFaultSchedule",
+    "random_channel_faults",
+    "kill_router",
+    # traffic
+    "TrafficGenerator",
+    "TrafficPattern",
+    "Uniform",
+    "Transpose",
+    "Complement",
+    "BitReversal",
+    "Hotspot",
+    "NearestNeighbour",
+    "make_pattern",
+    "LengthDistribution",
+    "FixedLength",
+    "BimodalLength",
+    "capacity_flits_per_node_cycle",
+    "injection_rate",
+    "Trace",
+    "TraceEntry",
+    "TraceReplayGenerator",
+    "record_trace",
+    # statistics
+    "StatsCollector",
+    "LatencySummary",
+    "summarize",
+    "percentile",
+    "histogram",
+    "format_table",
+    "format_series",
+    "message_timeline",
+    "format_timeline",
+    "buffer_occupancy",
+    "occupancy_snapshot",
+    "channel_heatmap",
+    "channel_load_stats",
+    "render_network_svg",
+    # analytical models
+    "plain_latency",
+    "cr_latency",
+    "fcr_latency",
+    "pcs_latency",
+    "mean_uniform_latency",
+]

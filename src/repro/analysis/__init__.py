@@ -1,0 +1,1 @@
+"""Closed-form models cross-validating the simulator."""

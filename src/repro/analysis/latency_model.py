@@ -1,0 +1,97 @@
+"""Closed-form zero-load latency models, per scheme.
+
+These are the back-of-envelope formulas a designer would write before
+simulating; the test suite checks the simulator against them at very
+low load, which validates the substrate's timing (one flit per channel
+per cycle, one hop per cycle for headers, credit latency) end to end.
+
+For a message of ``payload`` flits over ``h`` link hops with channel
+latency ``L``:
+
+* **plain wormhole / DOR** -- the header pipelines to the destination
+  and the worm streams behind it::
+
+      T0 = (h + 2) * L  +  (wire - 1)      # +2: injection + ejection
+
+* **CR / FCR** -- same pipeline, but ``wire`` includes the padding, so
+  short messages pay ``Imin`` (CR) or the round-trip rule (FCR).
+* **PCS** -- three phases before the tail arrives: probe out, ack back,
+  data streams::
+
+      T0 = h * L (probe) + h * L (ack) + (h + 2) * L + (wire - 1)
+
+All formulas use the minimal distance; queueing above zero load is
+deliberately out of scope (that is what the simulator is for).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.padding import PaddingParams, cr_wire_length, fcr_wire_length
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..topology.base import Topology
+
+
+def plain_latency(payload: int, hops: int, channel_latency: int = 1) -> int:
+    """Zero-load wormhole latency (header pipeline + serialisation)."""
+    if payload < 1:
+        raise ValueError("payload must be >= 1")
+    if hops < 1:
+        raise ValueError("hops must be >= 1")
+    return (hops + 2) * channel_latency + (payload - 1)
+
+
+def cr_latency(
+    payload: int, hops: int, params: PaddingParams
+) -> int:
+    """Zero-load CR latency: plain pipeline over the padded wire."""
+    wire = cr_wire_length(payload, hops, params)
+    return (hops + 2) * params.channel_latency + (wire - 1)
+
+
+def fcr_latency(
+    payload: int, hops: int, params: PaddingParams
+) -> int:
+    """Zero-load FCR latency (round-trip padding included)."""
+    wire = fcr_wire_length(payload, hops, params)
+    return (hops + 2) * params.channel_latency + (wire - 1)
+
+
+def pcs_latency(
+    payload: int, hops: int, channel_latency: int = 1
+) -> int:
+    """Zero-load PCS latency: probe + ack + streamed data."""
+    setup = 2 * hops * channel_latency
+    return setup + plain_latency(payload, hops, channel_latency)
+
+
+def mean_uniform_latency(
+    topology: "Topology",
+    payload: int,
+    scheme: str = "plain",
+    params: PaddingParams = None,
+) -> float:
+    """Expected zero-load latency over uniform traffic on ``topology``."""
+    params = params or PaddingParams()
+    total = 0.0
+    count = 0
+    n = topology.num_nodes
+    for src in range(n):
+        for dst in range(n):
+            if src == dst:
+                continue
+            hops = topology.min_distance(src, dst)
+            if scheme == "plain":
+                total += plain_latency(payload, hops, params.channel_latency)
+            elif scheme == "cr":
+                total += cr_latency(payload, hops, params)
+            elif scheme == "fcr":
+                total += fcr_latency(payload, hops, params)
+            elif scheme == "pcs":
+                total += pcs_latency(payload, hops, params.channel_latency)
+            else:
+                raise ValueError(f"unknown scheme {scheme!r}")
+            count += 1
+    return total / count

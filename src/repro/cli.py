@@ -1,0 +1,273 @@
+"""Command-line interface: ``cr-sim``.
+
+Examples::
+
+    cr-sim run --routing cr --radix 8 --load 0.3
+    cr-sim experiment e01
+    cr-sim experiment e07 --scale paper
+    cr-sim list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments import PAPER, QUICK, REGISTRY
+from .sim.config import SCHEMES, SimConfig
+from .sim.simulator import run_simulation
+from .stats.report import format_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cr-sim",
+        description=(
+            "Compressionless Routing simulator "
+            "(Kim, Liu & Chien, ISCA 1994 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument(
+        "--routing", default="cr", choices=sorted(SCHEMES)
+    )
+    run_p.add_argument(
+        "--topology", default="torus", choices=["torus", "mesh", "hypercube"]
+    )
+    run_p.add_argument("--radix", type=int, default=8)
+    run_p.add_argument("--dims", type=int, default=2)
+    run_p.add_argument("--num-vcs", type=int, default=None)
+    run_p.add_argument("--buffer-depth", type=int, default=2)
+    run_p.add_argument("--num-inject", type=int, default=1)
+    run_p.add_argument("--num-sink", type=int, default=1)
+    run_p.add_argument("--message-length", type=int, default=16)
+    run_p.add_argument("--pattern", default="uniform")
+    run_p.add_argument("--load", type=float, default=0.3)
+    run_p.add_argument("--fault-rate", type=float, default=0.0)
+    run_p.add_argument("--permanent-faults", type=int, default=0)
+    run_p.add_argument("--warmup", type=int, default=500)
+    run_p.add_argument("--measure", type=int, default=2000)
+    run_p.add_argument("--drain", type=int, default=4000)
+    run_p.add_argument("--seed", type=int, default=42)
+
+    exp_p = sub.add_parser("experiment", help="reproduce a table/figure")
+    exp_p.add_argument("id", choices=sorted(REGISTRY))
+    exp_p.add_argument(
+        "--scale", default="quick", choices=["quick", "paper"]
+    )
+
+    sweep_p = sub.add_parser("sweep", help="latency/throughput load sweep")
+    sweep_p.add_argument(
+        "--routing", default="cr", choices=sorted(SCHEMES)
+    )
+    sweep_p.add_argument("--radix", type=int, default=8)
+    sweep_p.add_argument("--dims", type=int, default=2)
+    sweep_p.add_argument("--num-vcs", type=int, default=None)
+    sweep_p.add_argument("--message-length", type=int, default=16)
+    sweep_p.add_argument("--pattern", default="uniform")
+    sweep_p.add_argument(
+        "--loads",
+        default="0.1,0.2,0.3,0.4",
+        help="comma-separated load fractions",
+    )
+    sweep_p.add_argument("--warmup", type=int, default=500)
+    sweep_p.add_argument("--measure", type=int, default=2000)
+    sweep_p.add_argument("--drain", type=int, default=4000)
+    sweep_p.add_argument("--seed", type=int, default=42)
+    sweep_p.add_argument("--out", default=None, help="CSV output path")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run a short simulation and show where the traffic went",
+    )
+    trace_p.add_argument("--routing", default="cr", choices=sorted(SCHEMES))
+    trace_p.add_argument("--radix", type=int, default=8)
+    trace_p.add_argument("--dims", type=int, default=2)
+    trace_p.add_argument("--pattern", default="transpose")
+    trace_p.add_argument("--load", type=float, default=0.3)
+    trace_p.add_argument("--cycles", type=int, default=1500)
+    trace_p.add_argument("--message-length", type=int, default=16)
+    trace_p.add_argument("--seed", type=int, default=42)
+    trace_p.add_argument(
+        "--svg", default=None, help="write a heat-map SVG to this path"
+    )
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = SimConfig(
+        topology=args.topology,
+        radix=args.radix,
+        dims=args.dims,
+        routing=args.routing,
+        num_vcs=args.num_vcs,
+        buffer_depth=args.buffer_depth,
+        num_inject=args.num_inject,
+        num_sink=args.num_sink,
+        message_length=args.message_length,
+        pattern=args.pattern,
+        load=args.load,
+        fault_rate=args.fault_rate,
+        permanent_faults=args.permanent_faults,
+        warmup=args.warmup,
+        measure=args.measure,
+        drain=args.drain,
+        seed=args.seed,
+    )
+    result = run_simulation(config)
+    rows = [
+        {"metric": key, "value": value}
+        for key, value in sorted(result.report.items())
+    ]
+    print(
+        format_table(
+            rows,
+            ["metric", "value"],
+            title=(
+                f"{args.routing} on {config.make_topology().name}, "
+                f"load {args.load}"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sim.export import rows_to_csv
+    from .sim.sweep import load_sweep
+
+    loads = [float(v) for v in args.loads.split(",") if v.strip()]
+    base = SimConfig(
+        routing=args.routing,
+        radix=args.radix,
+        dims=args.dims,
+        num_vcs=args.num_vcs,
+        message_length=args.message_length,
+        pattern=args.pattern,
+        warmup=args.warmup,
+        measure=args.measure,
+        drain=args.drain,
+        seed=args.seed,
+    )
+    rows = load_sweep(base, loads, label=args.routing)
+    print(
+        format_table(
+            rows,
+            ["load", "latency_mean", "latency_p95", "throughput",
+             "kill_rate", "pad_overhead"],
+            title=f"{args.routing} load sweep "
+                  f"({args.radix}-ary {args.dims}-torus)",
+        )
+    )
+    if args.out:
+        count = rows_to_csv(rows, args.out)
+        print(f"\nwrote {count} rows to {args.out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .stats.trace import (
+        channel_heatmap,
+        channel_load_stats,
+        format_timeline,
+        occupancy_snapshot,
+    )
+
+    config = SimConfig(
+        routing=args.routing,
+        radix=args.radix,
+        dims=args.dims,
+        pattern=args.pattern,
+        load=args.load,
+        message_length=args.message_length,
+        warmup=0,
+        measure=args.cycles,
+        drain=0,
+        seed=args.seed,
+    )
+    engine = config.build()
+    engine.run(args.cycles)
+    print(
+        f"{args.routing} on {engine.topology.name}, {args.pattern} "
+        f"traffic, load {args.load}, t={engine.now}\n"
+    )
+    print("buffer occupancy (flits per router):")
+    print(occupancy_snapshot(engine))
+    print()
+    print(
+        format_table(
+            channel_heatmap(engine, top=8),
+            ["link", "dim", "direction", "wrap", "flits", "dead"],
+            title="busiest link channels",
+        )
+    )
+    stats = channel_load_stats(engine)
+    print(
+        f"\nchannel utilisation {stats['utilisation']:.3f} "
+        f"flits/channel/cycle, imbalance (max/mean) "
+        f"{stats['imbalance']:.2f}"
+    )
+    slowest = max(
+        engine.ledger.deliveries,
+        key=lambda m: m.total_latency() or 0,
+        default=None,
+    )
+    if slowest is not None:
+        print("\nslowest delivered message:")
+        print(format_timeline(slowest))
+    if args.svg:
+        from .stats.svg import render_network_svg
+
+        svg = render_network_svg(
+            engine,
+            title=f"{args.routing} / {args.pattern} / load {args.load}",
+        )
+        with open(args.svg, "w") as handle:
+            handle.write(svg)
+        print(f"\nwrote heat map to {args.svg}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = REGISTRY[args.id]
+    scale = PAPER if args.scale == "paper" else QUICK
+    rows = module.run(scale)
+    print(module.table(rows))
+    return 0
+
+
+def _cmd_list() -> int:
+    rows = [
+        {
+            "id": key,
+            "module": module.__name__.rsplit(".", 1)[-1],
+            "what": (module.__doc__ or "").strip().splitlines()[0],
+        }
+        for key, module in sorted(REGISTRY.items())
+    ]
+    print(format_table(rows, ["id", "module", "what"]))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "list":
+        return _cmd_list()
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""CR/FCR protocol core: padding, timeouts, kills, interfaces."""

@@ -1,0 +1,117 @@
+"""Minimum-injection-length (Imin) calculation -- CR's padding rule.
+
+The central lemma of Compressionless Routing: if a message is at least
+one flit longer than the total flit capacity of its path, then by the
+time its tail leaves the source the destination must already have
+consumed its header.  From that point the message cannot be involved in a
+deadlock (its path drains into the destination), so the source may
+release it -- the flow-control handshake has served as an implicit
+acknowledgement.  Messages shorter than the path capacity are padded up
+to ``Imin``; the pad flits are stripped by the receiving interface.
+
+The paper notes the Imin calculation "requires a few adders and a
+distance calculator" (Section 5); this module is that arithmetic.
+
+Fault-tolerant CR needs more padding: the receiver must be able to
+detect a corrupted flit and propagate an FKILL back to the source
+*before* the source finishes injecting.  The worst case is a corrupted
+final payload flit: after it is consumed at the destination the source
+may inject up to ``path capacity`` further flits before backpressure
+stops it, plus one flit per cycle of FKILL return latency.  Hence::
+
+    wire(FCR) = payload + capacity(path) + return_latency + slack
+
+The properties encoded by these formulas are verified end-to-end by the
+property-based tests in ``tests/properties``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaddingParams:
+    """Network constants the Imin arithmetic depends on.
+
+    buffer_depth:
+        Flit capacity of each input VC buffer along the path.
+    channel_latency:
+        Cycles a flit spends in flight on each channel (also the credit
+        return latency).
+    eject_slots:
+        Staging capacity of the ejection channel at the destination.
+    slack:
+        Safety margin covering interface pipeline stages; the defaults
+        match the simulator's two-phase timing.
+    """
+
+    buffer_depth: int = 2
+    channel_latency: int = 1
+    eject_slots: int = 2
+    slack: int = 4
+
+    def __post_init__(self) -> None:
+        if self.buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        if self.channel_latency < 1:
+            raise ValueError("channel_latency must be >= 1")
+        if self.eject_slots < 1:
+            raise ValueError("eject_slots must be >= 1")
+        if self.slack < 1:
+            # slack = 0 closes the FKILL window exactly: the source
+            # could commit on the same cycle the FKILL arrives.
+            raise ValueError("slack must be >= 1")
+
+
+def path_capacity(hops: int, params: PaddingParams) -> int:
+    """Total flits the path from injector to receiver can hold.
+
+    ``hops`` is the number of router-to-router links on the (minimal)
+    path.  The path consists of the injection channel plus its buffer,
+    ``hops`` link channels each with a buffer, and the ejection staging:
+
+        (hops + 1) * (buffer_depth + channel_latency) + eject_slots
+    """
+    if hops < 0:
+        raise ValueError("hops must be >= 0")
+    per_hop = params.buffer_depth + params.channel_latency
+    return (hops + 1) * per_hop + params.eject_slots
+
+
+def cr_min_injection_length(hops: int, params: PaddingParams) -> int:
+    """CR's Imin: one more flit than the path can swallow.
+
+    Injecting ``Imin`` flits without the source observing a stall forces
+    at least one flit -- necessarily the header -- to have been consumed
+    at the destination.
+    """
+    return path_capacity(hops, params) + 1
+
+
+def cr_wire_length(payload: int, hops: int, params: PaddingParams) -> int:
+    """Padded length of a CR transmission attempt."""
+    if payload < 1:
+        raise ValueError("payload must be >= 1")
+    return max(payload, cr_min_injection_length(hops, params))
+
+
+def fcr_wire_length(payload: int, hops: int, params: PaddingParams) -> int:
+    """Padded length of an FCR transmission attempt.
+
+    Pads are appended *after* the payload so that a corruption detected
+    on the very last payload flit still FKILLs the source in time (see
+    module docstring).  Always at least the CR length.
+    """
+    if payload < 1:
+        raise ValueError("payload must be >= 1")
+    return_latency = hops * params.channel_latency
+    fcr = payload + path_capacity(hops, params) + return_latency + params.slack
+    return max(fcr, cr_wire_length(payload, hops, params))
+
+
+def padding_overhead(payload: int, wire: int) -> float:
+    """Fraction of transmitted flits that are padding."""
+    if wire < payload:
+        raise ValueError("wire length shorter than payload")
+    return (wire - payload) / wire

@@ -1,0 +1,63 @@
+"""Shared scaffolding for the experiment modules.
+
+Every experiment module exposes ``run(scale) -> rows`` and
+``table(rows) -> str``.  Two standard scales are provided:
+
+* ``QUICK`` -- an 8-ary 2-torus with short runs; used by the benchmark
+  suite so the whole harness finishes in minutes on a laptop.
+* ``PAPER`` -- a 16-ary 2-torus with long runs, matching the paper's
+  network scale (hours of pure-Python simulation; the repro-band notes
+  "slow for large traffic sweeps").
+
+The *shapes* reported in EXPERIMENTS.md are stable across the scales;
+absolute latency numbers move with network diameter, as expected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from ..sim.config import SimConfig
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Run-size knobs shared by all experiments."""
+
+    name: str
+    radix: int = 8
+    dims: int = 2
+    warmup: int = 300
+    measure: int = 1500
+    drain: int = 4000
+    message_length: int = 16
+    loads: Tuple[float, ...] = (0.1, 0.2, 0.3)
+    seed: int = 42
+
+    def base_config(self, **overrides) -> SimConfig:
+        config = SimConfig(
+            radix=self.radix,
+            dims=self.dims,
+            warmup=self.warmup,
+            measure=self.measure,
+            drain=self.drain,
+            message_length=self.message_length,
+            seed=self.seed,
+        )
+        return replace(config, **overrides) if overrides else config
+
+    def scaled(self, **overrides) -> "Scale":
+        return replace(self, **overrides)
+
+
+QUICK = Scale(name="quick")
+
+PAPER = Scale(
+    name="paper",
+    radix=16,
+    warmup=1000,
+    measure=5000,
+    drain=10000,
+    loads=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+)

@@ -1,0 +1,45 @@
+"""E01: baseline latency-vs-load, CR vs DOR with equal resources.
+
+The paper's headline comparison: "CR and FCR networks can achieve
+superior performance to alternatives such as dimension-order routing"
+and "CR outperforms DOR with equal resources on uniform traffic".
+Equal resources means the same virtual-channel count and per-VC buffer
+depth: DOR spends its two VCs on dateline deadlock avoidance, CR spends
+them as adaptive lanes and recovers from deadlock by kill/retry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.sweep import matrix_sweep
+from ..stats.report import format_series
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    base = scale.base_config(num_vcs=2, buffer_depth=2)
+    configs = {
+        "cr_2vc": base.with_(routing="cr"),
+        "dor_2vc": base.with_(routing="dor"),
+    }
+    return matrix_sweep(configs, scale.loads)
+
+
+def table(rows: List[Row]) -> str:
+    latency = format_series(
+        rows, x="load", y="latency_mean", title="E01 mean latency (cycles)"
+    )
+    throughput = format_series(
+        rows,
+        x="load",
+        y="throughput",
+        title="E01 accepted throughput (flits/node/cycle)",
+    )
+    return latency + "\n\n" + throughput
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

@@ -1,0 +1,63 @@
+"""E02: sensitivity to the source timeout (paper Section 7).
+
+A short timeout kills worms that are merely contended (needless
+retransmissions); a long timeout leaves potential deadlocks holding
+channels.  The paper settles on timeouts around the message service
+time -- its Fig. 11 runs use 32 cycles, its Fig. 14 runs use
+(message length) x (number of virtual channels).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.timeout import FixedTimeout
+from ..sim.simulator import run_simulation
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+TIMEOUTS = (8, 16, 32, 64, 128, 256)
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    load = scale.loads[len(scale.loads) // 2]
+    base = scale.base_config(routing="cr", load=load)
+    rows: List[Row] = []
+    for cycles in TIMEOUTS:
+        result = run_simulation(base.with_(timeout=FixedTimeout(cycles)))
+        report = result.report
+        rows.append(
+            {
+                "timeout": cycles,
+                "load": load,
+                "latency_mean": report["latency_mean"],
+                "latency_p95": report["latency_p95"],
+                "throughput": report["throughput"],
+                "kills": report.get("kills", 0),
+                "kill_rate": report["kill_rate"],
+                "undelivered": report["undelivered"],
+            }
+        )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    from ..stats.report import format_table
+
+    return format_table(
+        rows,
+        [
+            "timeout",
+            "latency_mean",
+            "latency_p95",
+            "throughput",
+            "kills",
+            "kill_rate",
+        ],
+        title="E02 CR timeout sensitivity",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

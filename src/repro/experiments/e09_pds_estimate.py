@@ -1,0 +1,69 @@
+"""E09: estimating potential deadlock situations via Duato's algorithm.
+
+"Estimating the number of deadlocks that occur is difficult because a
+deadlock would normally mean the end of any network simulation ... To
+conservatively estimate the number of PDS, we simulated a deadlock-free
+routing algorithm (Duato's routing algorithm) which uses two virtual
+networks -- an adaptive one and a deadlock-free deterministic one.
+During the simulation, we counted the number of times messages needed to
+use the dimension-order routed virtual channels (to escape deadlock)."
+
+Expected shape: escape usage is rare at low load and grows steeply as
+the adaptive channels congest -- the same blockages CR resolves by
+kill-and-retry.  The CR kill counts at matching loads are reported next
+to the escape counts for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.simulator import run_simulation
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    duato = scale.base_config(routing="duato")
+    cr = scale.base_config(routing="cr")
+    rows: List[Row] = []
+    for load in scale.loads:
+        d = run_simulation(duato.with_(load=load)).report
+        c = run_simulation(cr.with_(load=load)).report
+        delivered = max(1, int(d.get("messages_delivered", 0)))
+        rows.append(
+            {
+                "load": load,
+                "escape_grants": d.get("escape_grants", 0),
+                "messages_used_escape": d.get("messages_used_escape", 0),
+                "escape_per_1k_msgs": round(
+                    1000.0 * d.get("escape_grants", 0) / delivered, 2
+                ),
+                "duato_latency": d["latency_mean"],
+                "cr_kills": c.get("kills", 0),
+                "cr_latency": c["latency_mean"],
+            }
+        )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "load",
+            "escape_grants",
+            "messages_used_escape",
+            "escape_per_1k_msgs",
+            "duato_latency",
+            "cr_kills",
+            "cr_latency",
+        ],
+        title="E09: PDS estimate (Duato escape-channel usage) vs CR kills",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

@@ -1,0 +1,94 @@
+"""E13 (extension): bimodal traffic loads.
+
+The paper's variance discussion points at the authors' companion study,
+"Network performance under bimodal traffic loads" [Kim & Chien, JPDC
+95]: real machines mix short control messages with long data transfers,
+and long worms can starve short ones.  Under CR the interaction is
+richer -- long messages hold paths longer (more kill exposure for
+everyone), while padding inflates *short* messages the most.
+
+The experiment runs an 80/20 short/long mix and reports per-class
+latency for CR and DOR, plus the short-message penalty ratio
+(short-class latency over its fixed-length baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.simulator import run_simulation
+from ..stats.latency import summarize
+from ..stats.report import format_table
+from ..traffic.lengths import BimodalLength
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+
+def class_latencies(result, short: int) -> Dict[str, float]:
+    """Mean latency of delivered messages split by payload class."""
+    short_lat = [
+        m.total_latency()
+        for m in result.ledger.deliveries
+        if m.measured and m.payload_length == short
+    ]
+    long_lat = [
+        m.total_latency()
+        for m in result.ledger.deliveries
+        if m.measured and m.payload_length != short
+    ]
+    return {
+        "short_mean": summarize(short_lat).mean if short_lat else 0.0,
+        "short_p99": summarize(short_lat).p99 if short_lat else 0.0,
+        "long_mean": summarize(long_lat).mean if long_lat else 0.0,
+        "short_n": len(short_lat),
+        "long_n": len(long_lat),
+    }
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    short = scale.message_length // 2
+    long = scale.message_length * 4
+    mix = BimodalLength(short=short, long=long, long_fraction=0.2)
+    rows: List[Row] = []
+    for load in scale.loads:
+        for routing in ("cr", "dor"):
+            config = scale.base_config(
+                routing=routing, num_vcs=2, load=load, lengths=mix
+            )
+            result = run_simulation(config)
+            classes = class_latencies(result, short)
+            rows.append(
+                {
+                    "load": load,
+                    "routing": routing,
+                    "short_mean": classes["short_mean"],
+                    "short_p99": classes["short_p99"],
+                    "long_mean": classes["long_mean"],
+                    "short_n": classes["short_n"],
+                    "long_n": classes["long_n"],
+                    "overall_mean": result.report["latency_mean"],
+                    "kills": result.report.get("kills", 0),
+                }
+            )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "load",
+            "routing",
+            "short_mean",
+            "short_p99",
+            "long_mean",
+            "overall_mean",
+            "kills",
+        ],
+        title="E13: bimodal traffic (80% short / 20% long messages)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

@@ -1,0 +1,72 @@
+"""E14 (extension): latency variance under kill/retry.
+
+"While the retransmission mechanism in CR completely eliminates the
+possibility of deadlock, no explicit mechanism was provided to guarantee
+completion of each communication. ... repeated kills can give some
+messages much larger latencies, increasing the variance of message
+latency."  (Section 7; the paper defers mitigation to [Kim & Chien 95].)
+
+The experiment quantifies the effect: CR's latency standard deviation
+and tail (p99/p50 ratio) versus DOR's across load, next to the kill
+distribution (max kills any one message suffered).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.simulator import run_simulation
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    rows: List[Row] = []
+    for load in scale.loads:
+        for routing in ("cr", "dor"):
+            config = scale.base_config(routing=routing, num_vcs=2, load=load)
+            result = run_simulation(config)
+            summary = result.stats.latency_summary()
+            max_kills = max(
+                (m.kills + m.fkills for m in result.ledger.deliveries),
+                default=0,
+            )
+            tail_ratio = (
+                summary.p99 / summary.p50 if summary.p50 else 0.0
+            )
+            rows.append(
+                {
+                    "load": load,
+                    "routing": routing,
+                    "mean": summary.mean,
+                    "std": summary.std,
+                    "p50": summary.p50,
+                    "p99": summary.p99,
+                    "tail_ratio": round(tail_ratio, 2),
+                    "max_kills_one_msg": max_kills,
+                }
+            )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "load",
+            "routing",
+            "mean",
+            "std",
+            "p50",
+            "p99",
+            "tail_ratio",
+            "max_kills_one_msg",
+        ],
+        title="E14: latency variance and tails (kill/retry cost)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

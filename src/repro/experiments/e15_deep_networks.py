@@ -1,0 +1,73 @@
+"""E15 (extension): deep networks -- long channel latency.
+
+The paper's "Network Depth" discussion: "Though shallow networks are
+generally preferable, some machines will be built with deep networks
+(large amounts of buffering).  There are a variety of reasons for this,
+but the most important reason is physical channel delay."  Padding is
+proportional to the path's flit capacity, so channel pipeline depth
+feeds straight into CR's overhead -- this is CR's structural weakness
+and the experiment measures it honestly.
+
+Reported per channel latency L in {1, 2, 4}: CR's pad fraction and mean
+latency versus DOR's (DOR pays the latency too, but not the padding).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.simulator import run_simulation
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+CHANNEL_LATENCIES = (1, 2, 4)
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    load = scale.loads[0]
+    rows: List[Row] = []
+    for latency in CHANNEL_LATENCIES:
+        for routing in ("cr", "dor"):
+            config = scale.base_config(
+                routing=routing,
+                num_vcs=2,
+                load=load,
+                channel_latency=latency,
+                drain=scale.drain * 2,
+            )
+            result = run_simulation(config)
+            report = result.report
+            rows.append(
+                {
+                    "channel_latency": latency,
+                    "routing": routing,
+                    "latency_mean": report["latency_mean"],
+                    "throughput": report["throughput"],
+                    "pad_overhead": report["pad_overhead"],
+                    "kills": report.get("kills", 0),
+                    "undelivered": report["undelivered"],
+                }
+            )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "channel_latency",
+            "routing",
+            "latency_mean",
+            "throughput",
+            "pad_overhead",
+            "kills",
+        ],
+        title="E15: deep networks (channel pipeline depth) -- "
+              "CR pays padding, DOR does not",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

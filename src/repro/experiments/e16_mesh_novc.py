@@ -1,0 +1,78 @@
+"""E16 (extension): the two virtual-channel-free schemes, head to head.
+
+The paper positions the turn model as the other way to route adaptively
+without virtual channels: "Ni and Glass have developed a unique approach
+to adaptive routing which prevents deadlock without virtual channels by
+prohibiting turns.  However, this approach only works for meshes; in
+tori ... additional virtual channels are required."
+
+On a mesh -- the only ground where both compete -- this experiment runs
+CR (fully adaptive, recovery-based) against negative-first (partially
+adaptive, restriction-based) and dimension-order, all with ONE virtual
+channel, on uniform and transpose traffic.  CR buys full adaptivity at
+the price of padding and occasional kills; the turn model is free of
+both but restricted in which paths it may use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.simulator import run_simulation
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+SCHEMES = ("cr", "turn", "dor")
+PATTERNS = ("uniform", "transpose")
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    load = scale.loads[len(scale.loads) // 2]
+    rows: List[Row] = []
+    for pattern in PATTERNS:
+        for routing in SCHEMES:
+            config = scale.base_config(
+                topology="mesh",
+                routing=routing,
+                num_vcs=1,
+                load=load,
+                pattern=pattern,
+            )
+            result = run_simulation(config)
+            report = result.report
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "routing": routing,
+                    "load": load,
+                    "latency_mean": report["latency_mean"],
+                    "latency_p95": report["latency_p95"],
+                    "throughput": report["throughput"],
+                    "kills": report.get("kills", 0),
+                    "pad_overhead": report["pad_overhead"],
+                }
+            )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "pattern",
+            "routing",
+            "latency_mean",
+            "latency_p95",
+            "throughput",
+            "kills",
+            "pad_overhead",
+        ],
+        title="E16: VC-free schemes on a mesh (CR vs turn model vs DOR, "
+              "1 VC each)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

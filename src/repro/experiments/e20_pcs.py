@@ -1,0 +1,89 @@
+"""E20 (extension): CR vs pipelined circuit switching (PCS).
+
+Paper Section 2.2 / Related Work: "Gaughan and Yalamanchili enhanced
+pipelined circuit switching, a variant of wormhole routing, with
+backtracking to provide fault-tolerance."  PCS and CR solve the same
+two problems with opposite philosophies:
+
+* PCS is *conservative*: search first (backtracking probe), move data
+  only on a reserved circuit -- data never blocks, never dies; the cost
+  is a setup round trip and channel time held during the search.
+* CR is *optimistic*: move data immediately, kill and retry when the
+  gamble fails; the cost is padding and occasional wasted transmission.
+
+Part (a) compares them on a healthy torus across load; part (b) under
+permanent link faults, comparing recovery effort (CR kills vs PCS
+backtracks) and delivery completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim.simulator import run_simulation
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+
+def _row(scale: Scale, scheme: str, load: float, faults: int) -> Row:
+    config = scale.base_config(
+        routing=scheme,
+        num_vcs=1,
+        load=load,
+        permanent_faults=faults,
+        misrouting=faults > 0,  # both schemes detour around faults
+        drain=scale.drain * (2 if faults else 1),
+    )
+    result = run_simulation(config)
+    report = result.report
+    return {
+        "part": "faults" if faults else "healthy",
+        "load": load,
+        "scheme": scheme,
+        "dead_links": 2 * faults,
+        "latency_mean": report["latency_mean"],
+        "latency_p99": report["latency_p99"],
+        "throughput": report["throughput"],
+        "recovery_events": (
+            report.get("kills", 0) + report.get("probe_backtracks", 0)
+        ),
+        "setup_failures": report.get("probe_failures", 0),
+        "undelivered": report["undelivered"],
+    }
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    rows: List[Row] = []
+    for load in scale.loads:
+        for scheme in ("cr", "pcs"):
+            rows.append(_row(scale, scheme, load, faults=0))
+    fault_load = scale.loads[0]
+    for scheme in ("cr", "pcs"):
+        rows.append(_row(scale, scheme, fault_load, faults=2))
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "part",
+            "load",
+            "scheme",
+            "dead_links",
+            "latency_mean",
+            "latency_p99",
+            "throughput",
+            "recovery_events",
+            "setup_failures",
+            "undelivered",
+        ],
+        title="E20: CR (optimistic kill/retry) vs PCS "
+              "(conservative probe/reserve)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

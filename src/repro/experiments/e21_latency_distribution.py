@@ -1,0 +1,90 @@
+"""E21 (extension): the latency distribution behind the means.
+
+The paper's Section 7 discussion ("Delivery Guarantee and Latency
+Distribution") is about the *shape* of CR's latency: most messages are
+fast, but "repeated kills can give some messages much larger
+latencies".  This experiment prints the actual distribution -- fixed-
+width histogram bins of total latency for CR and DOR at the same load --
+plus the kill-count distribution that produces CR's tail.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from ..sim.simulator import run_simulation
+from ..stats.latency import histogram
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+BIN_WIDTH = 64
+MAX_BINS = 12
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    load = scale.loads[len(scale.loads) // 2]
+    samples: Dict[str, List[int]] = {}
+    kill_histogram: Counter = Counter()
+    for scheme in ("cr", "dor"):
+        result = run_simulation(
+            scale.base_config(routing=scheme, num_vcs=2, load=load)
+        )
+        samples[scheme] = list(result.stats.total_latencies)
+        if scheme == "cr":
+            for msg in result.ledger.deliveries:
+                if msg.measured:
+                    kill_histogram[msg.kills + msg.fkills] += 1
+    bins: Dict[int, Dict[str, int]] = {}
+    for scheme, values in samples.items():
+        for start, count in histogram(values, BIN_WIDTH):
+            bins.setdefault(start, {})[scheme] = count
+    rows: List[Row] = []
+    overflow = {"cr": 0, "dor": 0}
+    for index, start in enumerate(sorted(bins)):
+        entry = bins[start]
+        if index < MAX_BINS:
+            rows.append(
+                {
+                    "latency_bin": f"{start}-{start + BIN_WIDTH - 1}",
+                    "cr": entry.get("cr", 0),
+                    "dor": entry.get("dor", 0),
+                    "load": load,
+                }
+            )
+        else:
+            overflow["cr"] += entry.get("cr", 0)
+            overflow["dor"] += entry.get("dor", 0)
+    rows.append(
+        {
+            "latency_bin": f">={MAX_BINS * BIN_WIDTH} (tail)",
+            "cr": overflow["cr"],
+            "dor": overflow["dor"],
+            "load": load,
+        }
+    )
+    for kills in sorted(kill_histogram):
+        rows.append(
+            {
+                "latency_bin": f"cr killed {kills}x",
+                "cr": kill_histogram[kills],
+                "dor": "",
+                "load": load,
+            }
+        )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        ["latency_bin", "cr", "dor"],
+        title=f"E21: latency distribution (bin width {BIN_WIDTH} cycles) "
+              "and CR kill counts",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

@@ -1,0 +1,102 @@
+"""E22 (synthesis): cycle counts x router clock = wall-clock latency.
+
+The paper's two halves meet here.  The simulation experiments (E01...)
+count *cycles*; the implementation study (T02, after Chien '93) says the
+cycle itself is not equal across routers -- "virtual channels can reduce
+the achievable speed of adaptive routers significantly", while CR's
+no-VC adaptive router is simpler than a dateline DOR router.  A fair
+end-to-end comparison multiplies each scheme's cycle counts by its
+achievable cycle time:
+
+    latency_ns = latency_cycles * router_delay_ns(scheme)
+
+This experiment re-expresses the E01 sweep in nanoseconds using the T02
+delay model: CR's clock advantage (~0.78x DOR's cycle time) compounds
+its cycle-count advantage, and would partially rescue schemes that lose
+on cycles alone.  Duato's 3-VC router is included to show the opposite
+effect: its cycle-count win over DOR shrinks once its 1.4x cycle time
+is charged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hardware.routermodel import router_table
+from ..sim.simulator import run_simulation
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+#: simulated scheme -> (VCs simulated, router organisation in T02)
+#: each scheme runs at its *minimum* VC provisioning -- the hardware
+#: configuration whose clock the T02 model prices.
+SCHEME_TO_ROUTER = {
+    "cr": (1, "CR"),
+    "dor": (2, "DOR"),
+    "duato": (3, "Duato"),
+}
+
+
+def clock_ns(dims: int = 2) -> Dict[str, float]:
+    """Cycle time per scheme from the T02 router-delay model."""
+    delays = {row["router"]: float(row["total_ns"])
+              for row in router_table(dims=dims)}
+    return {
+        scheme: delays[router]
+        for scheme, (_, router) in SCHEME_TO_ROUTER.items()
+    }
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    clocks = clock_ns(scale.dims)
+    rows: List[Row] = []
+    for load in scale.loads:
+        for scheme in ("cr", "dor", "duato"):
+            num_vcs, _ = SCHEME_TO_ROUTER[scheme]
+            config = scale.base_config(
+                routing=scheme,
+                num_vcs=num_vcs,
+                load=load,
+            )
+            report = run_simulation(config).report
+            cycles = float(report["latency_mean"])
+            ns = cycles * clocks[scheme]
+            rows.append(
+                {
+                    "load": load,
+                    "scheme": scheme,
+                    "clock_ns": clocks[scheme],
+                    "latency_cycles": round(cycles, 1),
+                    "latency_ns": round(ns, 1),
+                    "throughput_flits_cycle": report["throughput"],
+                    "throughput_flits_us": round(
+                        1000.0 * float(report["throughput"])
+                        / clocks[scheme],
+                        1,
+                    ),
+                }
+            )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "load",
+            "scheme",
+            "clock_ns",
+            "latency_cycles",
+            "latency_ns",
+            "throughput_flits_cycle",
+            "throughput_flits_us",
+        ],
+        title="E22: clock-adjusted comparison "
+              "(cycles x achievable cycle time)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

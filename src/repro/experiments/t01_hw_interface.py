@@ -1,0 +1,81 @@
+"""T01 (paper Section 5 / Fig. 8): interface hardware inventory.
+
+"The Imin calculation requires a few adders and a distance calculator
+that is also required in any other network interface.  This hardware is
+much simpler than that found in the Meiko CS-2 and perhaps comparable to
+that found in the Intel Paragon and Thinking Machines CM-5."
+
+The table reports gate/latch totals for the plain, CR, and FCR
+injector+receiver pairs; the reproduced claim is that the CR delta over
+a plain interface is a few hundred gates and FCR adds only a check-code
+datapath on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hardware.costmodel import (
+    InterfaceParams,
+    injector_components,
+    interface_table,
+    receiver_components,
+)
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    params = InterfaceParams(radix=scale.radix, dims=scale.dims)
+    return interface_table(params)
+
+
+def component_rows(scale: Scale = QUICK, mode: str = "fcr") -> List[Row]:
+    """Per-component breakdown (the detailed version of the table)."""
+    params = InterfaceParams(radix=scale.radix, dims=scale.dims)
+    rows: List[Row] = []
+    for side, parts in (
+        ("injector", injector_components(params, mode)),
+        ("receiver", receiver_components(params, mode)),
+    ):
+        for part in parts:
+            rows.append(
+                {
+                    "side": side,
+                    "component": part.name,
+                    "gates": part.gates,
+                    "latches": part.latches,
+                    "purpose": part.purpose,
+                }
+            )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "interface",
+            "injector_gates",
+            "injector_latches",
+            "receiver_gates",
+            "receiver_latches",
+            "total_gates",
+            "total_latches",
+        ],
+        title="T01: network-interface hardware inventory",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))
+    print()
+    print(
+        format_table(
+            component_rows(),
+            ["side", "component", "gates", "latches", "purpose"],
+            title="T01 detail: FCR interface components",
+        )
+    )

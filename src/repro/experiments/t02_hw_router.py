@@ -1,0 +1,45 @@
+"""T02: router complexity/delay comparison (after Chien '93).
+
+"A recent study of implementation complexity for a variety of adaptive
+routers shows that virtual channels can reduce the achievable speed of
+adaptive routers significantly."  The table reproduces the ordering that
+motivates CR: a no-VC adaptive CR router sits between the dimension-
+order router and the virtual-channel adaptive routers (Duato, PAR,
+Linder-Harden) in critical-path delay -- adaptivity without the VC tax.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hardware.routermodel import router_table
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    return router_table(dims=scale.dims, torus=True)
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "router",
+            "vcs",
+            "freedom",
+            "routing_ns",
+            "vc_alloc_ns",
+            "switch_ns",
+            "flow_ns",
+            "total_ns",
+            "vs_dor",
+        ],
+        title="T02: router critical-path model (2D torus)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

@@ -1,0 +1,77 @@
+"""T03 (extension table): cost-normalised buffer-organisation comparison.
+
+E04/E05 compare schemes at very different storage budgets; this table
+normalises: for each buffer organisation, the per-router storage (flit
+slots and bits) next to the throughput it achieves at the scale's top
+load, and the resulting throughput per buffer flit.  The paper's
+economic argument -- CR reaches deep-FIFO DOR performance at a fraction
+of the storage -- becomes one column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..hardware.buffercost import (
+    BufferOrganisation,
+    standard_organisations,
+    throughput_per_flit,
+)
+from ..sim.simulator import run_simulation
+from ..stats.report import format_table
+from .common import QUICK, Scale
+
+Row = Dict[str, object]
+
+
+def _config_for(org: BufferOrganisation, scale: Scale, load: float):
+    scheme = "cr" if org.name.startswith("cr") else "dor"
+    return scale.base_config(
+        routing=scheme,
+        num_vcs=org.num_vcs,
+        buffer_depth=org.buffer_depth,
+        load=load,
+    )
+
+
+def run(scale: Scale = QUICK) -> List[Row]:
+    load = scale.loads[-1]
+    rows: List[Row] = []
+    for org in standard_organisations(scale.dims):
+        result = run_simulation(_config_for(org, scale, load))
+        throughput = float(result.report["throughput"])
+        rows.append(
+            {
+                "organisation": org.name,
+                "vcs": org.num_vcs,
+                "depth": org.buffer_depth,
+                "flits_per_router": org.flits_per_router,
+                "throughput": throughput,
+                "thr_per_buffer_flit": round(
+                    throughput_per_flit(throughput, org), 4
+                ),
+                "latency_mean": result.report["latency_mean"],
+            }
+        )
+    return rows
+
+
+def table(rows: List[Row]) -> str:
+    return format_table(
+        rows,
+        [
+            "organisation",
+            "vcs",
+            "depth",
+            "flits_per_router",
+            "throughput",
+            "thr_per_buffer_flit",
+            "latency_mean",
+        ],
+        title="T03: buffer storage vs delivered throughput "
+              "(top swept load)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(table(run()))

@@ -1,0 +1,1 @@
+"""Transient and permanent fault models, check-code grounding."""

@@ -1,0 +1,50 @@
+"""Fault-model interface.
+
+The engine consults the fault model at two points: once per cycle
+(``on_cycle`` -- used to enact scheduled permanent faults) and once per
+link traversal (``corrupt`` -- used to inject transient data errors).
+Faults are only applied to router-to-router links; the paper treats the
+processor-side interfaces as part of the (trusted) node.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.channel import Channel
+    from ..network.flit import Flit
+    from ..network.network import WormholeNetwork
+
+
+class FaultModel(abc.ABC):
+    """Base class: override what the scenario needs."""
+
+    def on_cycle(self, now: int, network: "WormholeNetwork") -> None:
+        """Hook run at the start of every cycle."""
+
+    def corrupt(
+        self, flit: "Flit", channel: "Channel", rng: random.Random
+    ) -> bool:
+        """Return True to corrupt ``flit`` on this traversal."""
+        return False
+
+
+class NoFaults(FaultModel):
+    """Explicit fault-free model (identical to passing None)."""
+
+
+class CompositeFaultModel(FaultModel):
+    """Combine several fault models (e.g. transient + permanent)."""
+
+    def __init__(self, models: List[FaultModel]) -> None:
+        self.models = list(models)
+
+    def on_cycle(self, now: int, network: "WormholeNetwork") -> None:
+        for model in self.models:
+            model.on_cycle(now, network)
+
+    def corrupt(self, flit, channel, rng) -> bool:
+        return any(model.corrupt(flit, channel, rng) for model in self.models)

@@ -1,0 +1,55 @@
+"""Transient faults: per-flit-per-hop data corruption.
+
+Section 6.2 of the paper evaluates FCR "with a range of fault rates";
+the natural unit is the probability that one flit crossing one physical
+channel is damaged.  The damage is detected by per-flit check codes (see
+:mod:`repro.faults.crc` for the code model): at the next router for
+header flits, at the receiving interface for body flits.  FCR then
+FKILLs the worm and the source retransmits -- "FCR networks tolerate any
+transient faults".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from .model import FaultModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.channel import Channel
+    from ..network.flit import Flit
+
+
+class TransientFaults(FaultModel):
+    """Bernoulli corruption of flits on link traversals.
+
+    Parameters
+    ----------
+    flit_fault_rate:
+        Probability that a single flit-hop is corrupted.
+    target_kinds:
+        Restrict faults to header/payload flits (None = any flit).
+        Corrupted pad flits carry no data; they are injected by default
+        for realism but are ignored by the receiver.
+    """
+
+    def __init__(
+        self, flit_fault_rate: float, payload_only: bool = False
+    ) -> None:
+        if not 0.0 <= flit_fault_rate <= 1.0:
+            raise ValueError("fault rate must be a probability")
+        self.flit_fault_rate = flit_fault_rate
+        self.payload_only = payload_only
+
+    def corrupt(
+        self, flit: "Flit", channel: "Channel", rng: random.Random
+    ) -> bool:
+        if self.flit_fault_rate == 0.0:
+            return False
+        if self.payload_only and not flit.is_payload:
+            return False
+        return rng.random() < self.flit_fault_rate
+
+    def __repr__(self) -> str:
+        return f"TransientFaults(rate={self.flit_fault_rate})"

@@ -1,0 +1,1 @@
+"""Analytic hardware cost models (interfaces, routers, buffers)."""

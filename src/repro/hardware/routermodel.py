@@ -1,0 +1,170 @@
+"""Router complexity and delay model (after Chien, Hot Interconnects '93).
+
+The paper's motivating cost argument cites Chien's k-ary n-cube router
+model: "virtual channels can be expensive because they complicate
+routing decision and channel control, increasing router node delay
+significantly."  CR's headline hardware claim follows: an adaptive CR
+router needs *no* virtual channels, so it is simpler and faster than
+virtual-channel adaptive routers and competitive with dimension-order
+routers.
+
+The model decomposes the router's critical path into:
+
+* address decode / routing decision  -- grows with routing freedom
+  (the number of admissible output candidates a header may have),
+* virtual-channel allocation         -- grows with log2 of the VCs
+  competing per physical channel,
+* switch (crossbar) traversal        -- grows with log2 of crossbar
+  ports (physical ports x VCs), and
+* flow control / channel multiplexing -- grows with log2(VCs).
+
+Coefficients are in nanoseconds, normalised so a plain 2D dimension-
+order mesh router comes out near Chien's ~5 ns figure for early-90s
+0.8um CMOS.  As with the interface inventory, the reproduced claims are
+*relative* orderings, not absolute nanoseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+# Delay coefficients (ns).
+T_DECODE_BASE = 1.2  # fixed header decode
+T_ROUTE_PER_CHOICE = 0.6  # per log2(routing freedom) of decision logic
+T_VC_ALLOC_PER_BIT = 0.9  # per log2(VCs) of allocation arbitration
+T_XBAR_PER_BIT = 0.6  # per log2(crossbar ports) of switch fan-in
+T_FLOWCTL_PER_BIT = 0.5  # per log2(VCs) of channel multiplexing
+T_FLOWCTL_BASE = 0.8
+
+
+@dataclass(frozen=True)
+class RouterSpec:
+    """One router organisation to be costed."""
+
+    name: str
+    phys_ports: int  # network ports incl. injection/ejection
+    num_vcs: int
+    routing_freedom: int  # max simultaneous admissible candidates
+    notes: str = ""
+
+
+def _log2_ceil(value: int) -> int:
+    return max(0, math.ceil(math.log2(value))) if value > 1 else 0
+
+
+def routing_delay(spec: RouterSpec) -> float:
+    """Routing-decision stage delay (ns)."""
+    return T_DECODE_BASE + T_ROUTE_PER_CHOICE * _log2_ceil(
+        max(spec.routing_freedom, 1) + 1
+    )
+
+
+def vc_allocation_delay(spec: RouterSpec) -> float:
+    """Virtual-channel allocation delay (ns); zero with a single VC."""
+    return T_VC_ALLOC_PER_BIT * _log2_ceil(spec.num_vcs)
+
+
+def switch_delay(spec: RouterSpec) -> float:
+    """Crossbar traversal delay (ns)."""
+    fan_in = spec.phys_ports * spec.num_vcs
+    return T_XBAR_PER_BIT * _log2_ceil(fan_in)
+
+
+def flow_control_delay(spec: RouterSpec) -> float:
+    """Channel multiplexing / credit handling delay (ns)."""
+    return T_FLOWCTL_BASE + T_FLOWCTL_PER_BIT * _log2_ceil(spec.num_vcs)
+
+
+def router_delay(spec: RouterSpec) -> float:
+    """Critical-path estimate (ns): max of the pipeline stages summed
+    with the always-serial decode, matching the flit-cycle framing of
+    Chien's model."""
+    return (
+        routing_delay(spec)
+        + vc_allocation_delay(spec)
+        + switch_delay(spec)
+        + flow_control_delay(spec)
+    )
+
+
+def standard_specs(dims: int = 2, torus: bool = True) -> List[RouterSpec]:
+    """The router organisations the paper compares (2D network).
+
+    Physical ports: 2 per dimension plus injection and ejection.
+    Routing freedom: DOR 1; CR minimal-adaptive up to ``dims`` ports (x
+    VCs lanes); Duato adds escape channels to full adaptivity; PAR
+    (planar-adaptive) is limited to two dimensions at a time.
+    """
+    ports = 2 * dims + 2
+    dor_vcs = 2 if torus else 1
+    return [
+        RouterSpec(
+            "DOR",
+            ports,
+            dor_vcs,
+            routing_freedom=1,
+            notes="dimension order; dateline VCs in tori",
+        ),
+        RouterSpec(
+            "CR",
+            ports,
+            1,
+            routing_freedom=dims,
+            notes="fully adaptive, no VCs (deadlock recovery)",
+        ),
+        RouterSpec(
+            "CR-2lane",
+            ports,
+            2,
+            routing_freedom=2 * dims,
+            notes="CR with two virtual lanes for throughput",
+        ),
+        RouterSpec(
+            "Duato",
+            ports,
+            (2 if torus else 1) + 1,
+            routing_freedom=dims + 1,
+            notes="adaptive VCs over a DOR escape network",
+        ),
+        RouterSpec(
+            "PAR",
+            ports,
+            3,
+            routing_freedom=2,
+            notes="planar-adaptive (Chien & Kim 92)",
+        ),
+        RouterSpec(
+            "LinderHarden",
+            ports,
+            2 ** (dims - 1) * (dims + 1) if dims > 1 else 2,
+            routing_freedom=dims,
+            notes="2^(n-1) virtual networks",
+        ),
+    ]
+
+
+def router_table(
+    dims: int = 2, torus: bool = True
+) -> List[Dict[str, object]]:
+    """Rows of the T02 table: per-scheme router delay breakdown."""
+    specs = standard_specs(dims, torus)
+    baseline = router_delay(specs[0])
+    rows: List[Dict[str, object]] = []
+    for spec in specs:
+        delay = router_delay(spec)
+        rows.append(
+            {
+                "router": spec.name,
+                "vcs": spec.num_vcs,
+                "freedom": spec.routing_freedom,
+                "routing_ns": round(routing_delay(spec), 2),
+                "vc_alloc_ns": round(vc_allocation_delay(spec), 2),
+                "switch_ns": round(switch_delay(spec), 2),
+                "flow_ns": round(flow_control_delay(spec), 2),
+                "total_ns": round(delay, 2),
+                "vs_dor": round(delay / baseline, 2),
+            }
+        )
+    return rows

@@ -1,0 +1,1 @@
+"""Cycle-accurate wormhole-network substrate."""

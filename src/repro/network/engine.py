@@ -1,0 +1,492 @@
+"""The cycle engine: drives every network component in lockstep.
+
+Each cycle runs fixed phases over state as of the cycle start (arrivals
+and credits are staged with latency, so intra-cycle evaluation order
+cannot leak information):
+
+1.  credit ticks           -- due credits become spendable,
+2.  arrival merges         -- in-flight flits land in buffers (corrupted
+                              headers trigger router kills under FCR),
+3.  receivers              -- consume ejected flits, deliver / FKILL,
+4.  kill wavefronts        -- flush one worm segment per dying message,
+5.  traffic generation     -- new messages enter node queues,
+6.  injectors              -- start/stream/stall-count/kill,
+7.  routing                -- blocked headers try to claim output VCs,
+8.  switch                 -- one flit per physical channel moves,
+9.  path-wide monitor      -- the E10 ablation's per-router timeout,
+10. watchdog               -- detect a wedged network (true deadlock).
+
+The watchdog is a simulator safety net, not part of CR: with CR/FCR it
+never fires (timeouts guarantee progress); with naive adaptive routing
+and PLAIN injection it fires quickly -- that *is* the deadlock CR breaks,
+and the deadlock-demonstration example relies on it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from ..core.guarantees import DeliveryLedger
+from ..core.kill import KillManager
+from ..core.node import Node
+from ..core.pcs import PCSManager
+from ..core.protocol import KillCause, MessagePhase, ProtocolConfig, ProtocolMode
+from ..stats.collector import StatsCollector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.model import FaultModel
+    from ..network.buffer import VCBuffer
+    from ..network.message import Message
+    from ..routing.base import Candidate
+    from ..traffic.generator import TrafficGenerator
+    from .network import WormholeNetwork
+
+_LIVE_PHASES = (MessagePhase.INJECTING, MessagePhase.COMMITTED)
+
+
+class NetworkDeadlockError(RuntimeError):
+    """The network made no progress for the watchdog interval."""
+
+
+class OrderedSet:
+    """Insertion-ordered set over an ordered dict.
+
+    Plain ``set`` iteration order depends on object id() values, which
+    vary run to run; everything the engine iterates must be ordered so
+    that a seeded run is bit-for-bit reproducible.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: Dict[object, None] = {}
+
+    def add(self, item) -> None:
+        self._items[item] = None
+
+    def discard(self, item) -> None:
+        self._items.pop(item, None)
+
+    def __contains__(self, item) -> bool:
+        return item in self._items
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+class Engine:
+    """Owns all mutable simulation state and the main loop."""
+
+    def __init__(
+        self,
+        network: "WormholeNetwork",
+        protocol: Optional[ProtocolConfig] = None,
+        seed: int = 0,
+        stats: Optional[StatsCollector] = None,
+        ledger: Optional[DeliveryLedger] = None,
+        fault_model: Optional["FaultModel"] = None,
+        generator: Optional["TrafficGenerator"] = None,
+        watchdog: int = 20000,
+        queue_cap: int = 64,
+    ) -> None:
+        self.network = network
+        self.topology = network.topology
+        self.routing = network.routing
+        self.selection = network.selection
+        self.routers = network.routers
+        self.num_vcs = network.num_vcs
+        self.protocol = protocol or ProtocolConfig()
+        self.rng = random.Random(seed)
+        self.stats = stats or StatsCollector(self.topology.num_nodes)
+        self.ledger = ledger or DeliveryLedger(
+            expect_integrity=self.protocol.mode is ProtocolMode.FCR
+        )
+        self.fault_model = fault_model
+        self.generator = generator
+        self.watchdog = watchdog
+        self.now = 0
+        self.last_progress = 0
+        self.kills = KillManager(self)
+        self.pcs = (
+            PCSManager(self)
+            if self.protocol.mode is ProtocolMode.PCS
+            else None
+        )
+        # Ordered sets (insertion-ordered dicts): iteration order must be
+        # deterministic for reproducible runs, which id()-hashed sets are
+        # not across processes.
+        self.route_pending: "OrderedSet[VCBuffer]" = OrderedSet()
+        self._arrival_buffers: "OrderedSet[VCBuffer]" = OrderedSet()
+        self.live: Set[int] = set()
+        self.injecting: "OrderedSet[Message]" = OrderedSet()
+        # Every message with a worm in the network (including committed
+        # ones still draining) -- scanned by the path-wide monitor.
+        self.in_flight: "OrderedSet[Message]" = OrderedSet()
+        self.nodes: List[Node] = [
+            Node(
+                node,
+                network.injection_channels[node],
+                self,
+                queue_cap=queue_cap,
+                order_preserving=self.protocol.order_preserving,
+            )
+            for node in range(self.topology.num_nodes)
+        ]
+        self._all_channels = network.all_channels()
+        self._pair_seq: Dict[tuple, int] = {}
+        # Optional application-layer reliability protocol (the software
+        # retry baseline); set via SoftwareReliability.attach().
+        self.reliability = None
+
+    # ------------------------------------------------------------------
+    # Message admission (traffic generators and examples use this)
+    # ------------------------------------------------------------------
+
+    def next_seq(self, src: int, dst: int) -> int:
+        """Per-pair sequence number (order-preservation bookkeeping)."""
+        key = (src, dst)
+        seq = self._pair_seq.get(key, 0)
+        self._pair_seq[key] = seq + 1
+        return seq
+
+    def admit(self, message: "Message") -> bool:
+        """Offer a message to its source node's queue.
+
+        Returns False when the queue is full (blocked source); the
+        message is then discarded and does not count as offered traffic.
+        """
+        node = self.nodes[message.src]
+        if not node.enqueue(message):
+            self.stats.on_generation_blocked()
+            return False
+        self.stats.on_created(message, self.now)
+        self.live.add(message.uid)
+        if self.reliability is not None:
+            self.reliability.on_admitted(message, self.now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Engine hooks used by interfaces and the kill manager
+    # ------------------------------------------------------------------
+
+    def note_arrival(self, buffer: "VCBuffer") -> None:
+        self._arrival_buffers.add(buffer)
+
+    def mark_progress(self, now: int) -> None:
+        self.last_progress = now
+
+    def abort_injection(self, message: "Message") -> None:
+        for injector in self.nodes[message.src].injectors:
+            injector.abort(message)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_drained(self, max_cycles: int) -> bool:
+        """Run with generation off until no work remains.
+
+        "Drained" means no live messages in the network *and* no
+        outstanding obligations in an attached reliability layer (which
+        may still owe retransmissions after the network goes quiet).
+        Returns True if drained, False on the cycle budget.
+        """
+        generator = self.generator
+        # Stochastic generators are silenced during the drain; a trace
+        # replay that still owes arrivals (full queues made it slip) is
+        # part of the workload and keeps running.
+        replaying = getattr(generator, "exhausted", None) is False
+        if not replaying:
+            self.generator = None
+        try:
+            for _ in range(max_cycles):
+                if self._drained():
+                    return True
+                self.step()
+            return self._drained()
+        finally:
+            self.generator = generator
+
+    def _drained(self) -> bool:
+        if self.live:
+            return False
+        if getattr(self.generator, "exhausted", True) is False:
+            return False  # a trace replay still owes arrivals
+        return self.reliability is None or not self.reliability.outstanding
+
+    def step(self) -> None:
+        now = self.now
+        for channel in self._all_channels:
+            channel.tick(now)
+        if self.fault_model is not None:
+            self.fault_model.on_cycle(now, self.network)
+        self._merge_arrivals(now)
+        for node in self.nodes:
+            node.receiver.process(now)
+        self.kills.advance(now)
+        if self.generator is not None:
+            self.generator.tick(self, now)
+        if self.reliability is not None:
+            self.reliability.tick(now)
+        for node in self.nodes:
+            for injector in node.injectors:
+                injector.step(now)
+        if self.pcs is not None:
+            self.pcs.step(now)
+        self._route_headers(now)
+        self._switch(now)
+        self._path_wide_monitor(now)
+        self._drop_at_block_monitor(now)
+        self._watchdog_check(now)
+        self.now = now + 1
+
+    # ------------------------------------------------------------------
+    # Phase 2: arrivals
+    # ------------------------------------------------------------------
+
+    def _merge_arrivals(self, now: int) -> None:
+        if not self._arrival_buffers:
+            return
+        fcr = self.protocol.mode is ProtocolMode.FCR
+        done = []
+        for buffer in self._arrival_buffers:
+            arrived = buffer.merge_incoming(now)
+            if arrived:
+                self.mark_progress(now)
+                for flit in arrived:
+                    if not flit.is_head:
+                        continue
+                    message = flit.message
+                    if message.phase not in _LIVE_PHASES:
+                        continue
+                    if fcr and flit.corrupted:
+                        # Per-flit check code fails at the router: the
+                        # router initiates a backward kill to the source.
+                        self.kills.initiate(
+                            message,
+                            KillCause.HEADER_FAULT,
+                            backward=True,
+                            now=now,
+                        )
+                    else:
+                        self.route_pending.add(buffer)
+            if not buffer.incoming:
+                done.append(buffer)
+        for buffer in done:
+            self._arrival_buffers.discard(buffer)
+
+    # ------------------------------------------------------------------
+    # Phase 7: routing (header output-VC allocation)
+    # ------------------------------------------------------------------
+
+    def _route_headers(self, now: int) -> None:
+        if not self.route_pending:
+            return
+        pending = list(self.route_pending)
+        if len(pending) > 1:
+            self.rng.shuffle(pending)
+        for buffer in pending:
+            head = buffer.head()
+            if head is None or not head.is_head:
+                self.route_pending.discard(buffer)
+                continue
+            if buffer.routed:
+                # Already holds an output (a PCS probe reserved it, or a
+                # stale queue entry): nothing to allocate.
+                self.route_pending.discard(buffer)
+                continue
+            message = head.message
+            if message.phase not in _LIVE_PHASES:
+                self.route_pending.discard(buffer)
+                continue
+            if self._grant(buffer, message):
+                buffer.route_stall_since = None
+                self.route_pending.discard(buffer)
+            elif buffer.route_stall_since is None:
+                buffer.route_stall_since = now
+
+    def _grant(self, buffer: "VCBuffer", message: "Message") -> bool:
+        from ..routing.base import Candidate
+
+        router = buffer.router
+        if router.node_id == message.dst:
+            tiers = [[Candidate(port, 0) for port in router.eject_ports]]
+        else:
+            tiers = self.routing.candidates(router, message)
+        for tier in tiers:
+            free = [
+                cand
+                for cand in tier
+                if router.output_free(cand.port, cand.vc)
+                and not router.out_channels[cand.port].dead
+            ]
+            if not free:
+                continue
+            choice = self.selection.pick(free, router, message, self.rng)
+            router.claim_output(choice.port, choice.vc, buffer, message)
+            if choice.is_escape:
+                message.escape_hops += 1
+                message.used_escape = True
+                self.stats.on_escape_grant(message)
+            if choice.is_misroute:
+                message.misroutes_used += 1
+                self.stats.counters["misroute_hops"] += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Phase 8: switch traversal (one flit per physical channel)
+    # ------------------------------------------------------------------
+
+    def _switch(self, now: int) -> None:
+        for router in self.routers:
+            claims = router.claims
+            if not claims:
+                continue
+            by_port: Dict[int, List] = {}
+            for (port, vc), buffer in claims.items():
+                if not buffer.fifo:
+                    continue
+                owner = buffer.owner
+                if owner is None or owner.phase not in _LIVE_PHASES:
+                    continue
+                if not router.out_channels[port].can_send(vc):
+                    continue
+                by_port.setdefault(port, []).append((vc, buffer))
+            if not by_port:
+                continue
+            used_inputs: Set[int] = set()
+            for port in sorted(by_port):
+                entries = [
+                    (vc, buffer)
+                    for vc, buffer in by_port[port]
+                    if buffer.port not in used_inputs
+                ]
+                if not entries:
+                    continue
+                entries.sort(key=lambda e: e[0])
+                vc, buffer = entries[router.rotate(port, len(entries))]
+                used_inputs.add(buffer.port)
+                self._transfer(router, port, vc, buffer, now)
+
+    def _transfer(self, router, port: int, vc: int, buffer, now: int) -> None:
+        flit = buffer.pop(now)
+        message = flit.message
+        channel = router.out_channels[port]
+        if (
+            self.fault_model is not None
+            and not channel.is_ejection
+            and not channel.is_injection
+            and self.fault_model.corrupt(flit, channel, self.rng)
+        ):
+            flit.corrupted = True
+            self.stats.on_fault_injected()
+        channel.send(vc, flit, now)
+        if channel.is_ejection:
+            self.nodes[router.node_id].receiver.stage(
+                flit, now + channel.latency, channel
+            )
+        else:
+            self.note_arrival(channel.sinks[vc])
+        if flit.is_head and not channel.is_ejection and self.pcs is None:
+            # Under PCS the probe acquired the path (and advanced the
+            # header routing state) before any data flit moved.
+            self.routing.on_header_hop(message, channel)
+            sink = channel.sinks[vc]
+            sink.acquire(message, now)
+            message.segments.append(sink)
+        if flit.is_tail:
+            buffer.release()
+            feeder = buffer.feeder
+            if feeder is not None and not feeder.is_injection:
+                self.routers[feeder.src_node].release_output_if(
+                    feeder.src_port, buffer.vc, message
+                )
+            message.tail_seg += 1
+            if channel.is_ejection:
+                router.release_output(port, vc)
+            else:
+                router.retire_claim(port, vc)
+        self.mark_progress(now)
+
+    # ------------------------------------------------------------------
+    # Phase 9: path-wide timeout (E10 ablation)
+    # ------------------------------------------------------------------
+
+    def _path_wide_monitor(self, now: int) -> None:
+        monitor = self.protocol.path_wide
+        if monitor is None or not self.in_flight:
+            return
+        for message in list(self.in_flight):
+            for buffer in message.active_segments:
+                if monitor.stalled(buffer.last_advance, now):
+                    # A router only sees local stalling; it cannot tell a
+                    # potential deadlock from sink contention, nor an
+                    # uncommitted worm from a committed one.
+                    self.kills.initiate(
+                        message,
+                        KillCause.PATH_TIMEOUT,
+                        backward=False,
+                        now=now,
+                        allow_committed=True,
+                    )
+                    break
+
+    # ------------------------------------------------------------------
+    # Drop-at-block monitor (E19 baseline: BBN Butterfly lineage)
+    # ------------------------------------------------------------------
+
+    def _drop_at_block_monitor(self, now: int) -> None:
+        threshold = self.protocol.drop_at_block
+        if threshold is None or not self.in_flight:
+            return
+        for message in list(self.in_flight):
+            segments = message.active_segments
+            if not segments:
+                continue
+            head_buffer = segments[-1]
+            stalled_since = head_buffer.route_stall_since
+            if (
+                stalled_since is not None
+                and now - stalled_since >= threshold
+            ):
+                # The blocking router rejects the message outright; the
+                # sender (which keeps a copy until delivery, as the BBN
+                # software did) retransmits after a gap.
+                self.kills.initiate(
+                    message,
+                    KillCause.DROP_AT_BLOCK,
+                    backward=False,
+                    now=now,
+                    allow_committed=True,
+                )
+
+    # ------------------------------------------------------------------
+    # Phase 10: watchdog
+    # ------------------------------------------------------------------
+
+    def _watchdog_check(self, now: int) -> None:
+        if not self.live:
+            self.last_progress = now
+            return
+        if now - self.last_progress > self.watchdog:
+            in_flight = sum(
+                1 for m in self.injecting if m.phase in _LIVE_PHASES
+            )
+            raise NetworkDeadlockError(
+                f"no progress for {self.watchdog} cycles at t={now}: "
+                f"{len(self.live)} live messages, {in_flight} injecting "
+                f"({self.routing.name} routing, "
+                f"{self.protocol.mode.value} protocol)"
+            )

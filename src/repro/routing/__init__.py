@@ -1,0 +1,1 @@
+"""Routing functions and output-selection policies."""

@@ -1,0 +1,78 @@
+"""Duato's deadlock-free adaptive routing.
+
+Links carry a small set of *escape* virtual channels running a
+deadlock-free deterministic algorithm (dimension order with datelines on
+a torus) plus any number of fully-adaptive virtual channels.  A header
+prefers an adaptive channel and falls back to the escape channel of its
+current dimension-order hop when none is free.
+
+The paper uses this algorithm for instrumentation, not as a contribution:
+"to conservatively estimate the number of PDS [potential deadlock
+situations], we simulated a deadlock-free routing algorithm (Duato's
+routing algorithm) ... we counted the number of times messages needed to
+use the dimension-order routed virtual channels (to escape deadlock)."
+Each escape grant is counted on the message (``escape_hops`` /
+``used_escape``) and aggregated by the statistics collector.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from .base import Candidate, RoutingFunction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.channel import Channel
+    from ..network.message import Message
+    from ..network.router import Router
+    from ..topology.base import Topology
+
+
+class Duato(RoutingFunction):
+    """Adaptive VCs over a dimension-order escape network."""
+
+    name = "duato"
+
+    def __init__(self, topology: "Topology") -> None:
+        super().__init__(topology)
+        self.escape_vcs = 2 if getattr(topology, "wrap", False) else 1
+
+    def min_vcs(self) -> int:
+        return self.escape_vcs + 1
+
+    def candidates(
+        self, router: "Router", message: "Message"
+    ) -> List[List[Candidate]]:
+        if router.num_vcs < self.min_vcs():
+            raise ValueError(
+                f"Duato routing on {self.topology.name} needs >= "
+                f"{self.min_vcs()} VCs, got {router.num_vcs}"
+            )
+        node, dst = router.node_id, message.dst
+        adaptive = [
+            Candidate(link.port, vc)
+            for link in self.topology.productive_links(node, dst)
+            for vc in range(self.escape_vcs, router.num_vcs)
+        ]
+        escape_link = self.topology.dor_link(node, dst)
+        if self.escape_vcs == 2:
+            # Same rule as DimensionOrder.dateline_class: a hop entering
+            # a new dimension starts its escape ring on the low class.
+            if escape_link.dim != message.dor_dim:
+                escape_vc = 0
+            else:
+                escape_vc = message.dateline_bit
+        else:
+            escape_vc = 0
+        escape = [Candidate(escape_link.port, escape_vc, is_escape=True)]
+        return [adaptive, escape]
+
+    def on_header_hop(self, message: "Message", channel: "Channel") -> None:
+        # The escape network is dateline dimension-order routing, so the
+        # dateline state must be tracked on every hop (adaptive hops that
+        # cross a wraparound also count as having crossed the dateline).
+        if channel.dim != message.dor_dim:
+            message.dor_dim = channel.dim
+            message.dateline_bit = 0
+        if channel.is_wrap:
+            message.dateline_bit = 1

@@ -1,0 +1,54 @@
+"""Turn-model adaptive routing (negative-first) for meshes.
+
+Ni and Glass's turn model prevents deadlock *without* virtual channels by
+prohibiting selected turns; the paper cites it as the other
+no-virtual-channel approach, noting that it "only works for meshes; in
+tori, additional virtual channels are required".  Negative-first is the
+n-dimensional member of the family: a packet makes all its hops in
+negative directions (adaptively) before any positive hop, so no cycle of
+channel dependencies can close.
+
+Included as a baseline: partially adaptive, mesh-only, one VC -- against
+CR's fully adaptive, any-topology, one VC.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from .base import Candidate, RoutingFunction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.message import Message
+    from ..network.router import Router
+    from ..topology.base import Topology
+
+
+class NegativeFirst(RoutingFunction):
+    """Negative hops first, adaptively; then positive hops, adaptively."""
+
+    name = "negative_first"
+
+    def __init__(self, topology: "Topology") -> None:
+        if getattr(topology, "wrap", False):
+            raise ValueError(
+                "the turn model is deadlock-free only on meshes; "
+                f"{topology.name} has wraparound links"
+            )
+        super().__init__(topology)
+
+    def min_vcs(self) -> int:
+        return 1
+
+    def candidates(
+        self, router: "Router", message: "Message"
+    ) -> List[List[Candidate]]:
+        links = self.topology.productive_links(router.node_id, message.dst)
+        negative = [link for link in links if link.direction < 0]
+        allowed = negative if negative else links
+        tier = [
+            Candidate(link.port, vc)
+            for link in allowed
+            for vc in range(router.num_vcs)
+        ]
+        return [tier]

@@ -1,0 +1,1 @@
+"""Simulation driver: configuration, runs, sweeps, replication."""

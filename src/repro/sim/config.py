@@ -1,0 +1,260 @@
+"""Declarative simulation configuration.
+
+``SimConfig`` is the single entry point users and experiments go
+through: it names a topology, a routing scheme (which implies the
+interface protocol: ``cr``/``fcr`` run the CR state machines, the
+baselines run classic blocking wormhole), the resource provisioning
+(VCs, buffer depth, interface channels), the workload, and the run
+phases.  ``build()`` turns it into a live engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.backoff import RetransmitPolicy
+from ..core.padding import PaddingParams
+from ..core.protocol import ProtocolConfig, ProtocolMode
+from ..core.timeout import PathWideTimeout, TimeoutPolicy
+from ..faults.model import CompositeFaultModel, FaultModel
+from ..faults.permanent import PermanentFaultSchedule, random_channel_faults
+from ..faults.transient import TransientFaults
+from ..network.engine import Engine
+from ..network.network import WormholeNetwork
+from ..routing.base import RoutingFunction
+from ..routing.dor import DimensionOrder
+from ..routing.duato import Duato
+from ..routing.minimal_adaptive import MinimalAdaptive, NaiveAdaptive
+from ..routing.misrouting import MisroutingAdaptive
+from ..routing.selection import make_selection
+from ..routing.turnmodel import NegativeFirst
+from ..stats.collector import StatsCollector
+from ..topology.base import Topology
+from ..topology.hypercube import Hypercube
+from ..topology.torus import KAryNCube
+from ..traffic.generator import TrafficGenerator
+from ..traffic.lengths import FixedLength, LengthDistribution
+from ..traffic.loads import injection_rate
+from ..traffic.patterns import make_pattern
+
+#: routing scheme -> (routing function class, interface protocol)
+SCHEMES = {
+    "cr": (MinimalAdaptive, ProtocolMode.CR),
+    "fcr": (MinimalAdaptive, ProtocolMode.FCR),
+    "dor": (DimensionOrder, ProtocolMode.PLAIN),
+    "duato": (Duato, ProtocolMode.PLAIN),
+    "turn": (NegativeFirst, ProtocolMode.PLAIN),
+    "naive": (NaiveAdaptive, ProtocolMode.PLAIN),
+    # CR interfaces over the deterministic relation (used by ablations:
+    # recovery without adaptivity).
+    "dor+cr": (DimensionOrder, ProtocolMode.CR),
+    # Drop-at-block (BBN Butterfly lineage): adaptive routing, plain
+    # unpadded injection, routers reject blocked headers (E19 baseline).
+    "drop": (MinimalAdaptive, ProtocolMode.PLAIN),
+    # Pipelined circuit switching with backtracking probes (E20
+    # baseline, Gaughan & Yalamanchili).
+    "pcs": (MinimalAdaptive, ProtocolMode.PCS),
+}
+
+
+@dataclass
+class SimConfig:
+    """Full description of one simulation run."""
+
+    # --- network shape -------------------------------------------------
+    topology: str = "torus"  # torus | mesh | hypercube
+    radix: int = 8
+    dims: int = 2
+    # --- routing scheme and resources ----------------------------------
+    routing: str = "cr"
+    num_vcs: Optional[int] = None  # default: the scheme's minimum
+    buffer_depth: int = 2
+    channel_latency: int = 1
+    num_inject: int = 1
+    num_sink: int = 1
+    eject_slots: int = 2
+    selection: str = "random"
+    # --- protocol ------------------------------------------------------
+    timeout: Optional[TimeoutPolicy] = None
+    backoff: Optional[RetransmitPolicy] = None
+    order_preserving: bool = True
+    retry_limit: Optional[int] = None
+    path_wide_cycles: Optional[int] = None
+    padding_slack: int = 4
+    # Bounded non-minimal hops on retries (permanent-fault tolerance).
+    misrouting: bool = False
+    # Router-side drop threshold for the "drop" scheme (cycles a header
+    # may block before the router rejects the message).
+    drop_at_block_cycles: Optional[int] = None
+    # PCS: probe patience before backtracking.
+    pcs_wait: int = 4
+    # Software ack/retry reliability layer over a PLAIN network (the
+    # baseline FCR replaces; see core/swretry.py and experiment E18).
+    software_retry: bool = False
+    swr_timeout: int = 512
+    swr_ack_length: int = 2
+    swr_retry_limit: Optional[int] = 16
+    # --- workload ------------------------------------------------------
+    pattern: str = "uniform"
+    pattern_kwargs: Dict[str, Any] = field(default_factory=dict)
+    message_length: int = 16
+    lengths: Optional[LengthDistribution] = None
+    load: float = 0.5  # fraction of theoretical capacity
+    # Trace-driven workload (overrides the stochastic generator): every
+    # scheme replaying the same trace sees byte-identical arrivals.
+    trace: Optional[Any] = None
+    # --- faults --------------------------------------------------------
+    fault_rate: float = 0.0
+    permanent_faults: int = 0
+    fault_model: Optional[FaultModel] = None
+    # --- run phases ----------------------------------------------------
+    warmup: int = 1000
+    measure: int = 4000
+    drain: int = 4000
+    seed: int = 42
+    queue_cap: int = 64
+    watchdog: int = 20000
+
+    # ------------------------------------------------------------------
+
+    def with_(self, **overrides) -> "SimConfig":
+        """A copy with fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+    def make_topology(self) -> Topology:
+        if self.topology == "torus":
+            return KAryNCube(self.radix, self.dims, wrap=True)
+        if self.topology == "mesh":
+            return KAryNCube(self.radix, self.dims, wrap=False)
+        if self.topology == "hypercube":
+            return Hypercube(self.dims)
+        raise ValueError(f"unknown topology {self.topology!r}")
+
+    def make_routing(self, topology: Topology) -> Tuple[RoutingFunction, ProtocolMode]:
+        try:
+            routing_cls, mode = SCHEMES[self.routing]
+        except KeyError:
+            raise ValueError(
+                f"unknown routing scheme {self.routing!r}; "
+                f"choose from {sorted(SCHEMES)}"
+            ) from None
+        if self.misrouting:
+            if routing_cls is not MinimalAdaptive or self.routing == "drop":
+                raise ValueError(
+                    "misrouting is only supported with the cr/fcr/pcs "
+                    "schemes"
+                )
+            routing_cls = MisroutingAdaptive
+        if self.routing == "dor+cr":
+            # Recovery-only ablation: CR interfaces supply the deadlock
+            # freedom, so the deterministic relation runs without its
+            # dateline virtual channels.
+            return DimensionOrder(topology, dateline=False), mode
+        return routing_cls(topology), mode
+
+    def resolved_num_vcs(self, routing: RoutingFunction) -> int:
+        return self.num_vcs if self.num_vcs is not None else routing.min_vcs()
+
+    def make_lengths(self) -> LengthDistribution:
+        return self.lengths or FixedLength(self.message_length)
+
+    def build(self) -> Engine:
+        """Construct the engine (network, protocol, traffic, faults)."""
+        topology = self.make_topology()
+        routing, mode = self.make_routing(topology)
+        num_vcs = self.resolved_num_vcs(routing)
+        network = WormholeNetwork(
+            topology,
+            routing,
+            make_selection(self.selection),
+            num_vcs=num_vcs,
+            buffer_depth=self.buffer_depth,
+            channel_latency=self.channel_latency,
+            num_inject=self.num_inject,
+            num_sink=self.num_sink,
+            eject_slots=self.eject_slots,
+        )
+        drop_cycles = self.drop_at_block_cycles
+        if self.routing == "drop" and drop_cycles is None:
+            drop_cycles = 2
+        protocol = ProtocolConfig(
+            mode=mode,
+            timeout=self.timeout,
+            backoff=self.backoff,
+            drop_at_block=drop_cycles,
+            pcs_wait=self.pcs_wait,
+            padding=PaddingParams(
+                buffer_depth=self.buffer_depth,
+                channel_latency=self.channel_latency,
+                eject_slots=self.eject_slots,
+                slack=self.padding_slack,
+            ),
+            order_preserving=self.order_preserving,
+            retry_limit=self.retry_limit,
+            path_wide=(
+                PathWideTimeout(self.path_wide_cycles)
+                if self.path_wide_cycles is not None
+                else None
+            ),
+        )
+        if self.trace is not None:
+            from ..traffic.trace import TraceReplayGenerator
+
+            generator = TraceReplayGenerator(self.trace)
+        else:
+            lengths = self.make_lengths()
+            rate = injection_rate(topology, self.load, lengths.mean())
+            generator = TrafficGenerator(
+                make_pattern(self.pattern, **self.pattern_kwargs),
+                lengths,
+                message_rate=min(rate, 1.0),
+                seed=self.seed + 1,
+                stop_at=self.warmup + self.measure,
+            )
+        stats = StatsCollector(
+            topology.num_nodes,
+            warmup_end=self.warmup,
+            measure_end=self.warmup + self.measure,
+        )
+        engine = Engine(
+            network,
+            protocol=protocol,
+            seed=self.seed,
+            stats=stats,
+            fault_model=self._make_fault_model(network),
+            generator=generator,
+            watchdog=self.watchdog,
+            queue_cap=self.queue_cap,
+        )
+        if self.software_retry:
+            from ..core.swretry import SoftwareReliability
+
+            SoftwareReliability(
+                retry_timeout=self.swr_timeout,
+                ack_length=self.swr_ack_length,
+                retry_limit=self.swr_retry_limit,
+            ).attach(engine)
+        return engine
+
+    def _make_fault_model(
+        self, network: WormholeNetwork
+    ) -> Optional[FaultModel]:
+        models = []
+        if self.fault_model is not None:
+            models.append(self.fault_model)
+        if self.fault_rate > 0.0:
+            models.append(TransientFaults(self.fault_rate))
+        if self.permanent_faults > 0:
+            import random as _random
+
+            rng = _random.Random(self.seed + 2)
+            faults = random_channel_faults(
+                network, self.permanent_faults, rng, cycle=0
+            )
+            models.append(PermanentFaultSchedule(faults))
+        if not models:
+            return None
+        if len(models) == 1:
+            return models[0]
+        return CompositeFaultModel(models)

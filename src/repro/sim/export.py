@@ -1,0 +1,37 @@
+"""Result export: sweep rows to CSV for external plotting."""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, List, Optional, Sequence
+
+
+def rows_to_csv(
+    rows: Sequence[Dict[str, object]],
+    path: str,
+    columns: Optional[Sequence[str]] = None,
+) -> int:
+    """Write sweep rows to ``path``; returns the number of data rows.
+
+    Columns default to the union of keys across rows, in first-seen
+    order, so heterogeneous sweeps stay loadable.
+    """
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns),
+                                extrasaction="ignore", restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def read_csv(path: str) -> List[Dict[str, str]]:
+    """Read back a CSV written by :func:`rows_to_csv` (strings only)."""
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,79 @@
+"""Seed replication: the same configuration across independent seeds.
+
+Single-run numbers from a stochastic simulator carry sampling noise;
+the standard remedy is replication.  ``replicate`` runs a configuration
+across ``n`` seeds and reports mean, standard deviation, and extreme
+values for the chosen metrics, plus a relative half-width estimate so a
+reader can judge whether an observed gap between two configurations is
+real.  (With one replication per point the paper-reproduction benches
+stay fast; use this module when a margin looks close.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from .config import SimConfig
+from .simulator import run_simulation
+
+DEFAULT_METRICS = ("latency_mean", "throughput", "kill_rate")
+
+
+def replicate(
+    config: SimConfig,
+    seeds: Iterable[int],
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> Dict[str, Dict[str, float]]:
+    """Run ``config`` once per seed; summarise each metric.
+
+    Returns ``{metric: {mean, std, min, max, rel_halfwidth, n}}`` where
+    ``rel_halfwidth`` approximates a 95% confidence half-width relative
+    to the mean (1.96 * std / sqrt(n) / mean).
+    """
+    samples: Dict[str, List[float]] = {metric: [] for metric in metrics}
+    count = 0
+    for seed in seeds:
+        result = run_simulation(config.with_(seed=seed))
+        count += 1
+        for metric in metrics:
+            samples[metric].append(float(result.report.get(metric, 0.0)))
+    if count == 0:
+        raise ValueError("need at least one seed")
+    out: Dict[str, Dict[str, float]] = {}
+    for metric, values in samples.items():
+        mean = sum(values) / count
+        var = sum((v - mean) ** 2 for v in values) / count
+        std = math.sqrt(var)
+        halfwidth = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
+        out[metric] = {
+            "mean": mean,
+            "std": std,
+            "min": min(values),
+            "max": max(values),
+            "rel_halfwidth": halfwidth / mean if mean else 0.0,
+            "n": count,
+        }
+    return out
+
+
+def significantly_better(
+    a: SimConfig,
+    b: SimConfig,
+    metric: str,
+    seeds: Iterable[int],
+    higher_is_better: bool = True,
+) -> bool:
+    """Crude two-config comparison: non-overlapping mean +/- halfwidth.
+
+    Conservative by construction -- overlapping intervals return False
+    even when a formal test might find a difference.
+    """
+    seed_list = list(seeds)
+    summary_a = replicate(a, seed_list, metrics=[metric])[metric]
+    summary_b = replicate(b, seed_list, metrics=[metric])[metric]
+    half_a = summary_a["rel_halfwidth"] * summary_a["mean"]
+    half_b = summary_b["rel_halfwidth"] * summary_b["mean"]
+    if higher_is_better:
+        return summary_a["mean"] - half_a > summary_b["mean"] + half_b
+    return summary_a["mean"] + half_a < summary_b["mean"] - half_b

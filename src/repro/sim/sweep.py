@@ -1,0 +1,106 @@
+"""Parameter sweeps: the workhorse behind every figure reproduction."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .config import SimConfig
+from .simulator import SimResult, run_simulation
+
+Row = Dict[str, object]
+
+#: report keys every sweep row carries
+DEFAULT_FIELDS = (
+    "latency_mean",
+    "latency_p95",
+    "throughput",
+    "kill_rate",
+    "pad_overhead",
+    "undelivered",
+)
+
+
+def result_row(result: SimResult, fields: Sequence[str] = DEFAULT_FIELDS) -> Row:
+    row: Row = {}
+    for key in fields:
+        row[key] = result.report.get(key, 0)
+    return row
+
+
+def load_sweep(
+    base: SimConfig,
+    loads: Iterable[float],
+    fields: Sequence[str] = DEFAULT_FIELDS,
+    label: Optional[str] = None,
+) -> List[Row]:
+    """Run ``base`` across offered loads; one row per load point."""
+    rows: List[Row] = []
+    for load in loads:
+        result = run_simulation(base.with_(load=load))
+        row: Row = {"load": load}
+        if label is not None:
+            row["config"] = label
+        row.update(result_row(result, fields))
+        rows.append(row)
+    return rows
+
+
+def param_sweep(
+    base: SimConfig,
+    param: str,
+    values: Iterable[Any],
+    fields: Sequence[str] = DEFAULT_FIELDS,
+) -> List[Row]:
+    """Run ``base`` with ``param`` set to each value; one row each."""
+    rows: List[Row] = []
+    for value in values:
+        result = run_simulation(base.with_(**{param: value}))
+        row: Row = {param: value}
+        row.update(result_row(result, fields))
+        rows.append(row)
+    return rows
+
+
+def matrix_sweep(
+    configs: Dict[str, SimConfig],
+    loads: Iterable[float],
+    fields: Sequence[str] = DEFAULT_FIELDS,
+) -> List[Row]:
+    """Several labelled configurations across the same load axis.
+
+    This is the shape of the paper's comparison figures: one curve per
+    configuration (CR vs DOR at various buffer depths, VC counts, ...),
+    sharing the offered-load x-axis.
+    """
+    rows: List[Row] = []
+    load_list = list(loads)
+    for label, config in configs.items():
+        rows.extend(load_sweep(config, load_list, fields, label=label))
+    return rows
+
+
+def saturation_load(
+    base: SimConfig,
+    loads: Iterable[float],
+    latency_limit_factor: float = 5.0,
+) -> float:
+    """Estimate the saturation point of a configuration.
+
+    Returns the highest swept load whose mean latency stays under
+    ``latency_limit_factor`` times the lowest-load latency (a standard
+    operational definition of the saturation knee).
+    """
+    load_list = sorted(loads)
+    baseline: Optional[float] = None
+    saturated_at = load_list[0]
+    for load in load_list:
+        result = run_simulation(base.with_(load=load))
+        latency = result.latency
+        if latency <= 0:
+            break
+        if baseline is None:
+            baseline = latency
+        if latency > latency_limit_factor * baseline:
+            break
+        saturated_at = load
+    return saturated_at

@@ -1,0 +1,1 @@
+"""Measurement: collectors, latency summaries, tables, traces."""

@@ -1,0 +1,159 @@
+"""Run-level statistics collection.
+
+The collector distinguishes the *measurement window*: messages created in
+``[warmup_end, measure_end)`` are flagged ``measured`` and contribute to
+latency statistics; throughput is the payload delivered during the window
+regardless of creation time (the standard steady-state convention).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .latency import LatencySummary, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.message import Message
+
+
+class StatsCollector:
+    """Counters and samples accumulated by the engine during a run."""
+
+    def __init__(
+        self, num_nodes: int, warmup_end: int = 0, measure_end: Optional[int] = None
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.warmup_end = warmup_end
+        self.measure_end = measure_end
+        self.counters: Counter = Counter()
+        self.total_latencies: List[int] = []
+        self.network_latencies: List[int] = []
+        self.kill_counts: List[int] = []
+        self.measured_created = 0
+        self.measured_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the engine)
+    # ------------------------------------------------------------------
+
+    def in_window(self, now: int) -> bool:
+        if self.measure_end is None:
+            return now >= self.warmup_end
+        return self.warmup_end <= now < self.measure_end
+
+    def on_created(self, message: "Message", now: int) -> None:
+        message.measured = self.in_window(now)
+        self.counters["messages_created"] += 1
+        self.counters["payload_flits_created"] += message.payload_length
+        if message.measured:
+            self.measured_created += 1
+
+    def on_attempt(self, message: "Message") -> None:
+        self.counters["injection_attempts"] += 1
+        if message.attempts > 1:
+            self.counters["retransmissions"] += 1
+
+    def on_kill(self, message: "Message", cause: str) -> None:
+        self.counters["kills"] += 1
+        self.counters[f"kills_{cause}"] += 1
+
+    def on_flit_injected(self, is_pad: bool) -> None:
+        self.counters["flits_injected"] += 1
+        if is_pad:
+            self.counters["pad_flits_injected"] += 1
+
+    def on_escape_grant(self, message: "Message") -> None:
+        """Duato instrumentation: a header took an escape channel (a PDS)."""
+        self.counters["escape_grants"] += 1
+
+    def on_delivery(self, message: "Message", now: int, corrupt: bool) -> None:
+        self.counters["messages_delivered"] += 1
+        if corrupt:
+            self.counters["corrupt_deliveries"] += 1
+        if message.used_escape:
+            self.counters["messages_used_escape"] += 1
+        if self.in_window(now):
+            self.counters["window_payload_flits_delivered"] += (
+                message.payload_length
+            )
+        if message.measured:
+            self.measured_delivered += 1
+            total = message.total_latency()
+            network = message.network_latency()
+            if total is not None:
+                self.total_latencies.append(total)
+            if network is not None:
+                self.network_latencies.append(network)
+            self.kill_counts.append(message.kills + message.fkills)
+
+    def on_fault_injected(self) -> None:
+        self.counters["faults_injected"] += 1
+
+    def on_late_corruption(self) -> None:
+        """FCR safety monitor: corruption seen too late to FKILL.
+
+        The padding rule is sized so this never fires; tests assert the
+        counter stays zero.
+        """
+        self.counters["late_corruption"] += 1
+
+    def on_generation_blocked(self) -> None:
+        self.counters["generation_blocked"] += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def latency_summary(self) -> LatencySummary:
+        return summarize(self.total_latencies)
+
+    def network_latency_summary(self) -> LatencySummary:
+        return summarize(self.network_latencies)
+
+    def throughput_flits_per_node_cycle(self) -> float:
+        """Accepted payload throughput over the measurement window."""
+        if self.measure_end is None:
+            raise ValueError("throughput needs a bounded measurement window")
+        window = self.measure_end - self.warmup_end
+        if window <= 0:
+            return 0.0
+        delivered = self.counters["window_payload_flits_delivered"]
+        return delivered / (self.num_nodes * window)
+
+    def kill_rate(self) -> float:
+        """Kills per delivered message (measured sample)."""
+        if not self.kill_counts:
+            return 0.0
+        return sum(self.kill_counts) / len(self.kill_counts)
+
+    def pad_overhead(self) -> float:
+        """Fraction of injected flits that were padding."""
+        injected = self.counters["flits_injected"]
+        if injected == 0:
+            return 0.0
+        return self.counters["pad_flits_injected"] / injected
+
+    def undelivered_measured(self) -> int:
+        """Measured messages still undelivered at the end (censored)."""
+        return self.measured_created - self.measured_delivered
+
+    def report(self) -> Dict[str, object]:
+        """Flat summary dictionary used by sweeps and benchmarks."""
+        latency = self.latency_summary()
+        network = self.network_latency_summary()
+        out: Dict[str, object] = {
+            "latency_mean": latency.mean,
+            "latency_p95": latency.p95,
+            "latency_p99": latency.p99,
+            "latency_std": latency.std,
+            "network_latency_mean": network.mean,
+            "sample": latency.count,
+            "kill_rate": self.kill_rate(),
+            "pad_overhead": self.pad_overhead(),
+            "undelivered": self.undelivered_measured(),
+        }
+        if self.measure_end is not None:
+            out["throughput"] = self.throughput_flits_per_node_cycle()
+        out.update(self.counters)
+        return out

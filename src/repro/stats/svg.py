@@ -1,0 +1,126 @@
+"""Self-contained SVG rendering of network state.
+
+``render_network_svg`` draws a 2D array topology with routers sized by
+buffer occupancy and links coloured by carried-traffic intensity --
+the visual counterpart of :func:`repro.stats.trace.channel_heatmap`.
+No dependencies: the output is a plain SVG string, written by the CLI's
+``trace`` command or from user code::
+
+    from repro import SimConfig, run_simulation
+    from repro.stats.svg import render_network_svg
+
+    result = run_simulation(SimConfig(...), keep_engine=True)
+    open("network.svg", "w").write(render_network_svg(result.engine))
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.engine import Engine
+
+CELL = 80  # px between router centres
+RADIUS = 14
+MARGIN = 50
+
+
+def _heat_colour(fraction: float) -> str:
+    """White -> amber -> red ramp for link utilisation."""
+    fraction = max(0.0, min(1.0, fraction))
+    if fraction < 0.5:
+        # white (255,255,255) -> amber (255,170,0)
+        t = fraction / 0.5
+        g = int(255 - t * 85)
+        b = int(255 - t * 255)
+        return f"rgb(255,{g},{b})"
+    t = (fraction - 0.5) / 0.5
+    g = int(170 - t * 170)
+    return f"rgb(255,{g},0)"
+
+
+def render_network_svg(engine: "Engine", title: str = "") -> str:
+    """Render a 2D array network's current state as an SVG document.
+
+    Raises ``ValueError`` for non-2D topologies (use the textual
+    ``occupancy_snapshot`` there instead).
+    """
+    topology = engine.topology
+    if len(topology.coords(0)) != 2:
+        raise ValueError(
+            "SVG rendering supports 2D arrays; use "
+            "repro.stats.trace.occupancy_snapshot for other layouts"
+        )
+    radix = getattr(topology, "radix", None)
+    if radix is None:
+        raise ValueError("SVG rendering needs a k-ary array topology")
+
+    max_flits = max(
+        (ch.flits_carried for ch in engine.network.link_channels),
+        default=0,
+    )
+    size = MARGIN * 2 + CELL * (radix - 1)
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size + 30}" viewBox="0 0 {size} {size + 30}">',
+        f'<rect width="{size}" height="{size + 30}" fill="#fbfaf8"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{size / 2}" y="{size + 18}" text-anchor="middle" '
+            f'font-family="monospace" font-size="13">{title}</text>'
+        )
+
+    def centre(node: int):
+        x, y = topology.coords(node)
+        return MARGIN + y * CELL, MARGIN + x * CELL
+
+    # Links first (under the routers).  Wrap links are drawn as short
+    # outward stubs rather than lines across the whole figure.
+    for channel in engine.network.link_channels:
+        sx, sy = centre(channel.src_node)
+        dx, dy = centre(channel.dst_node)
+        heat = channel.flits_carried / max_flits if max_flits else 0.0
+        colour = "#888" if channel.dead else _heat_colour(heat)
+        dash = ' stroke-dasharray="4,3"' if channel.dead else ""
+        width = 1.5 + 3.5 * heat
+        if channel.is_wrap:
+            # Outward stub in the direction of travel: dimension 0 maps
+            # to screen y (rows), dimension 1 to screen x (columns).
+            if channel.dim == 1:
+                ox, oy = channel.direction * CELL * 0.3, 0.0
+            else:
+                ox, oy = 0.0, channel.direction * CELL * 0.3
+            parts.append(
+                f'<line x1="{sx}" y1="{sy}" '
+                f'x2="{sx + ox:.1f}" y2="{sy + oy:.1f}" '
+                f'stroke="{colour}" stroke-width="{width:.1f}"{dash}/>'
+            )
+        else:
+            parts.append(
+                f'<line x1="{sx}" y1="{sy}" x2="{dx}" y2="{dy}" '
+                f'stroke="{colour}" stroke-width="{width:.1f}"{dash}/>'
+            )
+
+    # Routers: radius fixed, fill darkens with buffered flits.
+    for router in engine.routers:
+        occupancy = sum(
+            buf.occupancy for port in router.in_buffers for buf in port
+        )
+        capacity = sum(
+            buf.depth for port in router.in_buffers for buf in port
+        )
+        fill_frac = occupancy / capacity if capacity else 0.0
+        shade = int(235 - fill_frac * 180)
+        cx, cy = centre(router.node_id)
+        parts.append(
+            f'<circle cx="{cx}" cy="{cy}" r="{RADIUS}" '
+            f'fill="rgb({shade},{shade},240)" stroke="#445"/>'
+        )
+        parts.append(
+            f'<text x="{cx}" y="{cy + 4}" text-anchor="middle" '
+            f'font-family="monospace" font-size="10">'
+            f"{router.node_id}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

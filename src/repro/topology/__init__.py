@@ -1,0 +1,1 @@
+"""Network shapes: k-ary n-cubes, hypercubes, arbitrary graphs."""

@@ -1,0 +1,105 @@
+"""Topology abstraction.
+
+A topology names the nodes, enumerates each node's outgoing links, and
+answers the routing-relevant questions: minimal distance, the set of
+*productive* links (those on some minimal path), and the deterministic
+dimension-order choice.  Compressionless Routing itself is
+topology-agnostic -- the paper lists "applicability to a wide variety of
+network topologies" among its advantages -- so everything above this
+interface works for tori, meshes, hypercubes, and arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One outgoing link of a node.
+
+    Attributes
+    ----------
+    port:
+        Index of this link among the node's link ports (dense from 0).
+    dst:
+        Neighbour node id.
+    dim:
+        Dimension the link travels in (-1 when not meaningful).
+    direction:
+        +1 / -1 within the dimension (0 when not meaningful).
+    is_wrap:
+        True for toroidal wraparound links (the dateline rule for
+        deadlock-free dimension-order routing keys off this).
+    """
+
+    port: int
+    dst: int
+    dim: int = -1
+    direction: int = 0
+    is_wrap: bool = False
+
+
+class Topology(abc.ABC):
+    """Interface every network shape implements."""
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable description, e.g. ``8-ary 2-torus``."""
+
+    @abc.abstractmethod
+    def links(self, node: int) -> Sequence[LinkSpec]:
+        """All outgoing links of ``node`` (port index == list position)."""
+
+    @abc.abstractmethod
+    def min_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+
+    @abc.abstractmethod
+    def productive_links(self, node: int, dst: int) -> List[LinkSpec]:
+        """Links of ``node`` that lie on some minimal path to ``dst``."""
+
+    @abc.abstractmethod
+    def dor_link(self, node: int, dst: int) -> LinkSpec:
+        """The deterministic dimension-order (or fixed-order) choice."""
+
+    def coords(self, node: int) -> Tuple[int, ...]:
+        """Coordinates of ``node``; default is the bare id."""
+        return (node,)
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        """Inverse of :meth:`coords`."""
+        return coords[0]
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+
+    def validate_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                f"node {node} out of range for {self.name} "
+                f"({self.num_nodes} nodes)"
+            )
+
+    def average_min_distance(self) -> float:
+        """Mean minimal distance over all ordered pairs (uniform traffic)."""
+        n = self.num_nodes
+        total = 0
+        for a in range(n):
+            for b in range(n):
+                if a != b:
+                    total += self.min_distance(a, b)
+        return total / (n * (n - 1))
+
+    def max_link_ports(self) -> int:
+        """Largest number of link ports any node has."""
+        return max(len(self.links(node)) for node in range(self.num_nodes))

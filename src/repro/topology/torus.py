@@ -1,0 +1,172 @@
+"""k-ary n-cube topologies: torus and mesh.
+
+These are the paper's evaluation networks (2D torus with wraparound
+channels is the headline case: CR provides deadlock-free adaptive routing
+there with *no* virtual channels, where dimension-order routing needs two
+and prior adaptive schemes need more).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .base import LinkSpec, Topology
+
+
+class KAryNCube(Topology):
+    """A k-ary n-cube, optionally with wraparound (torus) links.
+
+    Nodes are numbered in row-major order of their coordinates; node
+    coordinates are ``(c[0], ..., c[n-1])`` with ``c[0]`` varying
+    slowest.  Each node has up to ``2n`` link ports ordered
+    ``(dim 0, +), (dim 0, -), (dim 1, +), ...``; in a mesh, edge nodes
+    simply lack the ports that would leave the array, and ports stay
+    densely numbered.
+    """
+
+    def __init__(self, radix: int, dims: int, wrap: bool = True) -> None:
+        if radix < 2:
+            raise ValueError("radix must be >= 2")
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        if wrap and radix == 2:
+            # A 2-ary torus would have duplicate links (+1 and -1 reach
+            # the same neighbour); treat it as a mesh/hypercube instead.
+            raise ValueError("2-ary torus is degenerate; use wrap=False")
+        self.radix = radix
+        self.dims = dims
+        self.wrap = wrap
+        self._num_nodes = radix**dims
+        self._links: List[List[LinkSpec]] = [
+            self._build_links(node) for node in range(self._num_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Topology interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def name(self) -> str:
+        kind = "torus" if self.wrap else "mesh"
+        return f"{self.radix}-ary {self.dims}-{kind}"
+
+    def links(self, node: int) -> Sequence[LinkSpec]:
+        return self._links[node]
+
+    def coords(self, node: int) -> Tuple[int, ...]:
+        self.validate_node(node)
+        out = []
+        for _ in range(self.dims):
+            out.append(node % self.radix)
+            node //= self.radix
+        return tuple(reversed(out))
+
+    def node_at(self, coords: Tuple[int, ...]) -> int:
+        if len(coords) != self.dims:
+            raise ValueError(f"expected {self.dims} coordinates")
+        node = 0
+        for c in coords:
+            if not 0 <= c < self.radix:
+                raise ValueError(f"coordinate {c} out of range")
+            node = node * self.radix + c
+        return node
+
+    def min_distance(self, src: int, dst: int) -> int:
+        sc, dc = self.coords(src), self.coords(dst)
+        return sum(self._dim_distance(s, d) for s, d in zip(sc, dc))
+
+    def productive_links(self, node: int, dst: int) -> List[LinkSpec]:
+        cur, goal = self.coords(node), self.coords(dst)
+        wanted = set()
+        for dim in range(self.dims):
+            for direction in self._minimal_directions(cur[dim], goal[dim]):
+                wanted.add((dim, direction))
+        return [
+            link
+            for link in self._links[node]
+            if (link.dim, link.direction) in wanted
+        ]
+
+    def dor_link(self, node: int, dst: int) -> LinkSpec:
+        cur, goal = self.coords(node), self.coords(dst)
+        for dim in range(self.dims):
+            directions = self._minimal_directions(cur[dim], goal[dim])
+            if not directions:
+                continue
+            direction = directions[0]  # ties resolved toward +1
+            for link in self._links[node]:
+                if link.dim == dim and link.direction == direction:
+                    return link
+            raise RuntimeError(
+                f"no port for dim {dim} direction {direction} at {node}"
+            )
+        raise ValueError(f"dor_link called with node == dst ({node})")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _dim_distance(self, a: int, b: int) -> int:
+        delta = abs(a - b)
+        if self.wrap:
+            return min(delta, self.radix - delta)
+        return delta
+
+    def _minimal_directions(self, cur: int, goal: int) -> List[int]:
+        """Directions (+1/-1) that reduce distance in one dimension.
+
+        In a torus with even radix and the two nodes exactly half-way
+        apart, both directions are minimal (adaptive routing may use
+        either; dimension-order deterministically takes +1).
+        """
+        if cur == goal:
+            return []
+        if not self.wrap:
+            return [1] if goal > cur else [-1]
+        forward = (goal - cur) % self.radix
+        backward = (cur - goal) % self.radix
+        if forward < backward:
+            return [1]
+        if backward < forward:
+            return [-1]
+        return [1, -1]
+
+    def _build_links(self, node: int) -> List[LinkSpec]:
+        coords = self.coords(node)
+        links: List[LinkSpec] = []
+        for dim in range(self.dims):
+            c = coords[dim]
+            for direction in (1, -1):
+                nc = c + direction
+                is_wrap = False
+                if nc < 0 or nc >= self.radix:
+                    if not self.wrap:
+                        continue
+                    nc %= self.radix
+                    is_wrap = True
+                neighbour = list(coords)
+                neighbour[dim] = nc
+                links.append(
+                    LinkSpec(
+                        port=len(links),
+                        dst=self.node_at(tuple(neighbour)),
+                        dim=dim,
+                        direction=direction,
+                        is_wrap=is_wrap,
+                    )
+                )
+        return links
+
+
+def torus(radix: int, dims: int = 2) -> KAryNCube:
+    """A k-ary n-cube with wraparound links."""
+    return KAryNCube(radix, dims, wrap=True)
+
+
+def mesh(radix: int, dims: int = 2) -> KAryNCube:
+    """A k-ary n-cube without wraparound links."""
+    return KAryNCube(radix, dims, wrap=False)

@@ -1,0 +1,1 @@
+"""Synthetic workloads: patterns, lengths, load normalisation."""

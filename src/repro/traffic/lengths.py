@@ -1,0 +1,82 @@
+"""Message-length distributions.
+
+The paper's sweeps use fixed message lengths (16 flits typically, longer
+for the deep-buffer comparisons); its variance discussion cites the
+authors' bimodal-traffic study [Kim & Chien, JPDC 95], so a bimodal
+distribution (short control messages + long data messages) is included.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+
+class LengthDistribution(abc.ABC):
+    """Samples payload lengths in flits (header included)."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> int:
+        """One payload length (>= 1)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Expected payload length (used for load normalisation)."""
+
+
+class FixedLength(LengthDistribution):
+    """Every message has the same payload length."""
+
+    name = "fixed"
+
+    def __init__(self, flits: int) -> None:
+        if flits < 1:
+            raise ValueError("message length must be >= 1 flit")
+        self.flits = flits
+
+    def sample(self, rng: random.Random) -> int:
+        return self.flits
+
+    def mean(self) -> float:
+        return float(self.flits)
+
+    def __repr__(self) -> str:
+        return f"FixedLength({self.flits})"
+
+
+class BimodalLength(LengthDistribution):
+    """Short messages with an occasional long message.
+
+    ``long_fraction`` is the probability a message is long (by message
+    count, not by flit volume).
+    """
+
+    name = "bimodal"
+
+    def __init__(
+        self, short: int = 8, long: int = 64, long_fraction: float = 0.1
+    ) -> None:
+        if short < 1 or long < 1:
+            raise ValueError("lengths must be >= 1 flit")
+        if not 0.0 <= long_fraction <= 1.0:
+            raise ValueError("long_fraction must be a probability")
+        self.short = short
+        self.long = long
+        self.long_fraction = long_fraction
+
+    def sample(self, rng: random.Random) -> int:
+        return self.long if rng.random() < self.long_fraction else self.short
+
+    def mean(self) -> float:
+        return (
+            self.long * self.long_fraction
+            + self.short * (1.0 - self.long_fraction)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BimodalLength(short={self.short}, long={self.long}, "
+            f"p_long={self.long_fraction})"
+        )

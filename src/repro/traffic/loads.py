@@ -1,0 +1,38 @@
+"""Offered-load normalisation.
+
+Experiments sweep load as a fraction of the network's theoretical
+uniform-traffic capacity.  For a network whose nodes each drive ``c``
+unidirectional link channels (one flit per cycle each) and whose uniform
+traffic travels ``h_avg`` hops on average, each delivered payload flit
+consumes ``h_avg`` channel-cycles, so the per-node saturation injection
+rate is ``c / h_avg`` flits per node per cycle (e.g. ``8/k`` for a k-ary
+2-torus: 4 channels per node, average distance ``k/2``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..topology.base import Topology
+
+
+def capacity_flits_per_node_cycle(topology: "Topology") -> float:
+    """Theoretical uniform-traffic throughput limit per node."""
+    total_channels = sum(
+        len(topology.links(node)) for node in range(topology.num_nodes)
+    )
+    channels_per_node = total_channels / topology.num_nodes
+    return channels_per_node / topology.average_min_distance()
+
+
+def injection_rate(
+    topology: "Topology", load_fraction: float, mean_message_length: float
+) -> float:
+    """Messages per node per cycle for a target normalised load."""
+    if load_fraction < 0:
+        raise ValueError("load_fraction must be >= 0")
+    if mean_message_length < 1:
+        raise ValueError("mean message length must be >= 1")
+    flits = load_fraction * capacity_flits_per_node_cycle(topology)
+    return flits / mean_message_length

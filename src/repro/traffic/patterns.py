@@ -1,0 +1,137 @@
+"""Destination patterns for synthetic traffic.
+
+The paper's headline simulations use uniform random traffic; it argues
+CR's advantage "would likely produce an even larger performance
+difference for non-uniform traffic patterns", so the classic adversarial
+permutations (transpose, complement, bit reversal) and hotspot traffic
+are provided for the adaptive-vs-deterministic experiments and examples.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..topology.base import Topology
+
+
+class TrafficPattern(abc.ABC):
+    """Maps a source node to a destination node."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def destination(
+        self, topology: "Topology", src: int, rng: random.Random
+    ) -> Optional[int]:
+        """Destination for one message, or None when ``src`` sends
+        nothing under this pattern (e.g. a fixed point of a permutation).
+        """
+
+
+class Uniform(TrafficPattern):
+    """Uniformly random destination, excluding the source."""
+
+    name = "uniform"
+
+    def destination(self, topology, src, rng):
+        n = topology.num_nodes
+        dst = rng.randrange(n - 1)
+        return dst if dst < src else dst + 1
+
+
+class Transpose(TrafficPattern):
+    """Coordinate-reversal permutation: (c0, ..., cn) -> (cn, ..., c0).
+
+    On a 2D array this is the matrix-transpose pattern that concentrates
+    dimension-order traffic on the diagonal.
+    """
+
+    name = "transpose"
+
+    def destination(self, topology, src, rng):
+        coords = topology.coords(src)
+        dst = topology.node_at(tuple(reversed(coords)))
+        return None if dst == src else dst
+
+
+class Complement(TrafficPattern):
+    """Coordinate complement: c -> (k-1) - c in every dimension."""
+
+    name = "complement"
+
+    def destination(self, topology, src, rng):
+        radix = getattr(topology, "radix", None)
+        if radix is None:
+            # Bit-wise complement for non-array topologies.
+            dst = (topology.num_nodes - 1) ^ src
+        else:
+            coords = topology.coords(src)
+            dst = topology.node_at(tuple(radix - 1 - c for c in coords))
+        return None if dst == src else dst
+
+
+class BitReversal(TrafficPattern):
+    """Reverse the bits of the node id (requires power-of-two nodes)."""
+
+    name = "bit_reversal"
+
+    def destination(self, topology, src, rng):
+        n = topology.num_nodes
+        if n & (n - 1):
+            raise ValueError("bit reversal needs a power-of-two node count")
+        bits = n.bit_length() - 1
+        dst = 0
+        for i in range(bits):
+            if src & (1 << i):
+                dst |= 1 << (bits - 1 - i)
+        return None if dst == src else dst
+
+
+class Hotspot(TrafficPattern):
+    """Uniform background with a fraction of traffic aimed at one node."""
+
+    name = "hotspot"
+
+    def __init__(self, hotspot: int, fraction: float = 0.1) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self.hotspot = hotspot
+        self.fraction = fraction
+        self._uniform = Uniform()
+
+    def destination(self, topology, src, rng):
+        if src != self.hotspot and rng.random() < self.fraction:
+            return self.hotspot
+        return self._uniform.destination(topology, src, rng)
+
+
+class NearestNeighbour(TrafficPattern):
+    """Send to a uniformly random direct neighbour (locality extreme)."""
+
+    name = "nearest_neighbour"
+
+    def destination(self, topology, src, rng):
+        links = topology.links(src)
+        return rng.choice(links).dst
+
+
+def make_pattern(name: str, **kwargs) -> TrafficPattern:
+    """Factory by name (used by the config layer)."""
+    patterns = {
+        Uniform.name: Uniform,
+        Transpose.name: Transpose,
+        Complement.name: Complement,
+        BitReversal.name: BitReversal,
+        Hotspot.name: Hotspot,
+        NearestNeighbour.name: NearestNeighbour,
+    }
+    try:
+        cls = patterns[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; choose from {sorted(patterns)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,94 @@
+"""Analytical zero-load models, and their agreement with the simulator.
+
+The model-vs-simulator tests are the substrate's timing validation: if
+the engine's pipeline (one hop per cycle, one flit per channel per
+cycle, injection/ejection stages) drifts, these fail.
+"""
+
+import pytest
+
+from repro import PaddingParams, SimConfig, run_simulation, torus
+from repro.analysis.latency_model import (
+    cr_latency,
+    fcr_latency,
+    mean_uniform_latency,
+    pcs_latency,
+    plain_latency,
+)
+
+
+class TestFormulas:
+    def test_plain_pipeline(self):
+        # 4 hops, 16 flits: header takes 6 channel stages, the tail
+        # trails by wire-1.
+        assert plain_latency(16, 4) == 6 + 15
+
+    def test_plain_scales_with_channel_latency(self):
+        assert plain_latency(16, 4, channel_latency=2) == 12 + 15
+
+    def test_cr_adds_padding(self):
+        params = PaddingParams()
+        assert cr_latency(4, 4, params) > plain_latency(4, 4)
+        # Long messages pay nothing extra.
+        assert cr_latency(400, 4, params) == plain_latency(400, 4)
+
+    def test_fcr_exceeds_cr(self):
+        params = PaddingParams()
+        assert fcr_latency(16, 4, params) > cr_latency(16, 4, params)
+
+    def test_pcs_adds_round_trip(self):
+        assert pcs_latency(16, 4) == plain_latency(16, 4) + 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plain_latency(0, 4)
+        with pytest.raises(ValueError):
+            plain_latency(4, 0)
+        with pytest.raises(ValueError):
+            mean_uniform_latency(torus(4, 2), 8, scheme="bogus")
+
+
+class TestModelVsSimulator:
+    """At near-zero load, measured network latency must sit within a
+    small margin of the closed-form prediction (queueing ~ 0)."""
+
+    LOAD = 0.02
+
+    def _measured(self, scheme, **overrides):
+        config = SimConfig(
+            routing=scheme, radix=4, dims=2, load=self.LOAD,
+            message_length=8, warmup=200, measure=2500, drain=3000,
+            seed=7, **overrides,
+        )
+        result = run_simulation(config)
+        return float(result.report["network_latency_mean"])
+
+    @pytest.mark.parametrize("scheme,model_name", [
+        ("dor", "plain"),
+        ("cr", "cr"),
+        ("fcr", "fcr"),
+        ("pcs", "pcs"),
+    ])
+    def test_zero_load_agreement(self, scheme, model_name):
+        predicted = mean_uniform_latency(
+            torus(4, 2), payload=8, scheme=model_name,
+            params=PaddingParams(),
+        )
+        measured = self._measured(scheme)
+        assert measured == pytest.approx(predicted, rel=0.15), (
+            f"{scheme}: measured {measured:.1f} vs model {predicted:.1f}"
+        )
+
+    def test_model_ordering_matches_simulator(self):
+        """fcr > cr > plain at zero load, in both model and sim."""
+        m_dor = self._measured("dor")
+        m_cr = self._measured("cr")
+        m_fcr = self._measured("fcr")
+        assert m_dor < m_cr < m_fcr
+        params = PaddingParams()
+        topo = torus(4, 2)
+        assert (
+            mean_uniform_latency(topo, 8, "plain", params)
+            < mean_uniform_latency(topo, 8, "cr", params)
+            < mean_uniform_latency(topo, 8, "fcr", params)
+        )

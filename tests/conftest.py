@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SimConfig
+
+
+@pytest.fixture
+def tiny_config() -> SimConfig:
+    """A 4x4 torus run small enough for unit tests (<1s)."""
+    return SimConfig(
+        radix=4,
+        dims=2,
+        warmup=100,
+        measure=400,
+        drain=3000,
+        message_length=8,
+        load=0.2,
+        seed=11,
+    )
+
+
+def run_tiny(config: SimConfig):
+    """Convenience wrapper so tests read naturally."""
+    from repro import run_simulation
+
+    return run_simulation(config)

@@ -1,0 +1,67 @@
+"""Drop-at-block protocol (the BBN Butterfly baseline of E19)."""
+
+from repro import SimConfig, run_simulation
+from repro.core.protocol import MessagePhase
+
+
+def drop_config(**overrides):
+    base = dict(
+        routing="drop", radix=4, dims=2, load=0.2, message_length=8,
+        warmup=100, measure=500, drain=5000, seed=9,
+        order_preserving=False,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+class TestConfiguration:
+    def test_scheme_sets_default_threshold(self):
+        engine = drop_config().build()
+        assert engine.protocol.drop_at_block == 2
+
+    def test_explicit_threshold(self):
+        engine = drop_config(drop_at_block_cycles=7).build()
+        assert engine.protocol.drop_at_block == 7
+
+    def test_no_padding(self):
+        """Drop-at-block is a PLAIN protocol: no Imin padding."""
+        result = run_simulation(drop_config(load=0.05))
+        for msg in result.ledger.deliveries:
+            assert msg.wire_length == msg.payload_length
+
+
+class TestBehaviour:
+    def test_never_wedges_without_vcs(self):
+        """Adaptive routing + 1 VC + drops: deadlock-free by rejection,
+        like CR but without the timeout grace period."""
+        result = run_simulation(drop_config(load=0.4, drain=10000))
+        assert result.drained
+        assert result.report["undelivered"] == 0
+
+    def test_drops_counted_separately(self):
+        result = run_simulation(drop_config(load=0.3))
+        report = result.report
+        assert report.get("kills_drop_at_block", 0) > 0
+        assert report.get("kills_source_timeout", 0) == 0
+
+    def test_committed_messages_still_droppable(self):
+        """Without padding a fully-injected worm's header can still be
+        blocked -- drop-at-block rejects it and the sender's retained
+        copy is retransmitted (exactly-once to the host regardless)."""
+        result = run_simulation(drop_config(load=0.4, drain=10000))
+        delivered = result.report["messages_delivered"]
+        assert len(result.ledger.delivered_uids) == delivered
+
+    def test_more_drops_with_tighter_threshold(self):
+        tight = run_simulation(drop_config(drop_at_block_cycles=1))
+        loose = run_simulation(drop_config(drop_at_block_cycles=16))
+        assert (
+            tight.report.get("kills_drop_at_block", 0)
+            > loose.report.get("kills_drop_at_block", 0)
+        )
+
+    def test_all_messages_eventually_delivered(self):
+        result = run_simulation(drop_config(load=0.25, drain=8000))
+        assert result.drained
+        for msg in result.ledger.deliveries:
+            assert msg.phase is MessagePhase.DELIVERED

@@ -1,0 +1,99 @@
+"""Imin / padding arithmetic."""
+
+import pytest
+
+from repro.core.padding import (
+    PaddingParams,
+    cr_min_injection_length,
+    cr_wire_length,
+    fcr_wire_length,
+    padding_overhead,
+    path_capacity,
+)
+
+
+class TestPathCapacity:
+    def test_formula(self):
+        params = PaddingParams(buffer_depth=2, channel_latency=1,
+                               eject_slots=1)
+        # (hops+1) * (2+1) + 1
+        assert path_capacity(0, params) == 4
+        assert path_capacity(4, params) == 16
+
+    def test_scales_with_depth(self):
+        shallow = PaddingParams(buffer_depth=1)
+        deep = PaddingParams(buffer_depth=8)
+        assert path_capacity(4, deep) > path_capacity(4, shallow)
+
+    def test_scales_with_latency(self):
+        fast = PaddingParams(channel_latency=1)
+        slow = PaddingParams(channel_latency=4)
+        assert path_capacity(4, slow) > path_capacity(4, fast)
+
+    def test_negative_hops(self):
+        with pytest.raises(ValueError):
+            path_capacity(-1, PaddingParams())
+
+
+class TestCrWireLength:
+    def test_imin_is_capacity_plus_one(self):
+        params = PaddingParams()
+        assert (
+            cr_min_injection_length(3, params)
+            == path_capacity(3, params) + 1
+        )
+
+    def test_short_messages_padded(self):
+        params = PaddingParams()
+        wire = cr_wire_length(4, 3, params)
+        assert wire == cr_min_injection_length(3, params)
+
+    def test_long_messages_unpadded(self):
+        params = PaddingParams()
+        assert cr_wire_length(500, 3, params) == 500
+
+    def test_monotone_in_hops(self):
+        params = PaddingParams()
+        wires = [cr_wire_length(4, h, params) for h in range(8)]
+        assert wires == sorted(wires)
+
+    def test_invalid_payload(self):
+        with pytest.raises(ValueError):
+            cr_wire_length(0, 3, PaddingParams())
+
+
+class TestFcrWireLength:
+    def test_always_at_least_cr(self):
+        params = PaddingParams()
+        for hops in range(8):
+            for payload in (1, 4, 16, 64):
+                assert fcr_wire_length(payload, hops, params) >= \
+                    cr_wire_length(payload, hops, params)
+
+    def test_pads_beyond_payload_plus_roundtrip(self):
+        params = PaddingParams()
+        hops = 4
+        wire = fcr_wire_length(16, hops, params)
+        # payload + capacity + return trip + slack
+        assert wire == 16 + path_capacity(hops, params) + hops + params.slack
+
+    def test_long_messages_still_pay_roundtrip(self):
+        # FCR never delivers unpadded: the FKILL window must stay open.
+        params = PaddingParams()
+        assert fcr_wire_length(1000, 4, params) > 1000
+
+    def test_invalid_payload(self):
+        with pytest.raises(ValueError):
+            fcr_wire_length(0, 3, PaddingParams())
+
+
+class TestOverhead:
+    def test_zero_when_unpadded(self):
+        assert padding_overhead(16, 16) == 0.0
+
+    def test_fraction(self):
+        assert padding_overhead(8, 16) == pytest.approx(0.5)
+
+    def test_rejects_wire_shorter_than_payload(self):
+        with pytest.raises(ValueError):
+            padding_overhead(16, 8)

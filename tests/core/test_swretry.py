@@ -1,0 +1,104 @@
+"""Software ack/retry layer: the baseline FCR replaces."""
+
+import pytest
+
+from repro import SimConfig, SoftwareReliability, run_simulation
+
+
+def swr_config(**overrides):
+    base = dict(
+        routing="dor", software_retry=True, order_preserving=False,
+        radix=4, dims=2, load=0.1, message_length=8,
+        warmup=100, measure=600, drain=8000, seed=6,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+class TestConstruction:
+    def test_requires_plain_mode(self):
+        config = swr_config(routing="cr")
+        with pytest.raises(ValueError, match="PLAIN"):
+            config.build()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftwareReliability(retry_timeout=0)
+        with pytest.raises(ValueError):
+            SoftwareReliability(ack_length=0)
+
+    def test_attached_by_config(self):
+        engine = swr_config().build()
+        assert engine.reliability is not None
+        assert engine.reliability.retry_timeout == 512
+
+
+class TestFaultFree:
+    def test_every_message_acked_once(self):
+        result = run_simulation(swr_config(fault_rate=0.0),
+                                keep_engine=True)
+        layer = result.engine.reliability
+        report = layer.report()
+        assert report["duplicates"] == 0
+        assert report["corrupt_discards"] == 0
+        assert report["failures"] == 0
+        # One ACK per host delivery.
+        assert report["acks_sent"] == report["host_deliveries"]
+        # Everything generated reached the host exactly once.
+        created = result.report["messages_created"]
+        assert report["host_deliveries"] + report["acks_sent"] == created
+
+    def test_host_latency_below_network_plus_ack(self):
+        result = run_simulation(swr_config(fault_rate=0.0),
+                                keep_engine=True)
+        report = result.engine.reliability.report()
+        assert 0 < report["host_latency_mean"] < 500
+
+
+class TestUnderFaults:
+    def test_exactly_once_to_host(self):
+        result = run_simulation(swr_config(fault_rate=3e-3),
+                                keep_engine=True)
+        layer = result.engine.reliability
+        report = layer.report()
+        # Corruption forced discards and retransmissions...
+        assert report["corrupt_discards"] > 0
+        assert report["retransmissions"] > 0
+        # ...but the host never saw a duplicate (dedup) or corruption
+        # (software checksum): logical ids are unique.
+        assert len(layer.delivered_logical) == report["host_deliveries"]
+
+    def test_ack_loss_causes_duplicates_not_errors(self):
+        result = run_simulation(
+            swr_config(fault_rate=8e-3, swr_timeout=128, drain=16000),
+            keep_engine=True,
+        )
+        report = result.engine.reliability.report()
+        # High fault rate + aggressive timer: duplicates happen at the
+        # network level but never reach the host twice.
+        assert report["host_deliveries"] == len(
+            result.engine.reliability.delivered_logical
+        )
+
+    def test_retry_limit_bounds_attempts(self):
+        result = run_simulation(
+            swr_config(fault_rate=5e-2, swr_retry_limit=2, drain=12000),
+            keep_engine=True,
+        )
+        report = result.engine.reliability.report()
+        # At a 5% flit-hop fault rate almost nothing survives two tries;
+        # the limit must convert the hopeless cases into failures
+        # rather than retrying forever.
+        assert report["failures"] > 0
+
+
+class TestOverheadAccounting:
+    def test_ack_flits_counted_as_injected(self):
+        clean = run_simulation(
+            swr_config(fault_rate=0.0, software_retry=False),
+        )
+        with_layer = run_simulation(swr_config(fault_rate=0.0))
+        assert (
+            with_layer.report["flits_injected"]
+            > clean.report["flits_injected"]
+        )

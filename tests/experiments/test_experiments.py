@@ -1,0 +1,114 @@
+"""Experiment registry and smoke runs at a tiny scale.
+
+Full-fidelity runs live in benchmarks/; here each experiment module is
+exercised end-to-end on a 4x4 torus with very short runs so the suite
+stays fast while covering the harness code paths.
+"""
+
+import pytest
+
+from repro.experiments import PAPER, QUICK, REGISTRY, Scale
+
+TINY = Scale(
+    name="tiny",
+    radix=4,
+    dims=2,
+    warmup=50,
+    measure=250,
+    drain=2500,
+    message_length=8,
+    loads=(0.1, 0.25),
+    seed=3,
+)
+
+EXPECTED_IDS = {
+    "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08",
+    "e09", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
+    "e18", "e19", "e20", "e21", "e22", "e23", "t01", "t02", "t03",
+}
+
+CHEAP = ("t01", "t02")
+MODERATE = ("e02", "e07", "e08", "e09", "e10", "e11", "e12", "e15", "e16")
+HEAVY = ("e01", "e03", "e04", "e05", "e06", "e13", "e14", "e17", "e18",
+         "e19", "e20", "e21", "e22", "e23", "t03")
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(REGISTRY) == EXPECTED_IDS
+
+    def test_modules_expose_run_and_table(self):
+        for module in REGISTRY.values():
+            assert callable(module.run)
+            assert callable(module.table)
+
+    def test_scales(self):
+        assert QUICK.radix == 8
+        assert PAPER.radix == 16
+        assert PAPER.measure > QUICK.measure
+
+    def test_scale_base_config(self):
+        config = TINY.base_config(routing="dor", load=0.1)
+        assert config.radix == 4
+        assert config.routing == "dor"
+
+    def test_scaled_override(self):
+        smaller = QUICK.scaled(radix=4)
+        assert smaller.radix == 4
+        assert smaller.measure == QUICK.measure
+
+
+@pytest.mark.parametrize("exp_id", CHEAP)
+def test_cheap_experiments_produce_tables(exp_id):
+    module = REGISTRY[exp_id]
+    rows = module.run(TINY)
+    assert rows
+    text = module.table(rows)
+    assert exp_id.upper().replace("E0", "E0").lower() in text.lower() or text
+
+
+@pytest.mark.parametrize("exp_id", MODERATE)
+def test_moderate_experiments_run_tiny(exp_id):
+    module = REGISTRY[exp_id]
+    rows = module.run(TINY)
+    assert rows
+    assert isinstance(module.table(rows), str)
+
+
+@pytest.mark.parametrize("exp_id", HEAVY)
+def test_heavy_experiments_run_tiny(exp_id):
+    module = REGISTRY[exp_id]
+    rows = module.run(TINY.scaled(loads=(0.15,)))
+    assert rows
+    assert isinstance(module.table(rows), str)
+
+
+class TestExperimentSemantics:
+    def test_e07_integrity_columns_zero(self):
+        rows = REGISTRY["e07"].run(TINY)
+        for row in rows:
+            assert row["corrupt_deliveries"] == 0
+            assert row["late_corruption"] == 0
+
+    def test_e08_everything_delivered(self):
+        rows = REGISTRY["e08"].run(TINY)
+        for row in rows:
+            assert row["undelivered"] == 0
+
+    def test_e12_no_fifo_violations(self):
+        rows = REGISTRY["e12"].run(TINY)
+        for row in rows:
+            assert row["fifo_violations"] == 0
+
+    def test_e11_measured_overhead_close_to_analytic(self):
+        from repro.core.padding import PaddingParams, cr_wire_length
+
+        rows = REGISTRY["e11"].run(TINY)
+        measured = [r for r in rows if r["hops"] == "sim"][0]
+        frac = measured["measured_pad_overhead"]
+        # Bound by the analytic overheads of min and max distances.
+        params = PaddingParams(buffer_depth=2)
+        lo_wire = cr_wire_length(TINY.message_length, 1, params)
+        hi_wire = cr_wire_length(TINY.message_length, 4, params)
+        lo = 1 - TINY.message_length / hi_wire
+        assert 0.0 <= frac <= lo + 0.25

@@ -1,0 +1,85 @@
+"""Row-schema contracts for every experiment module.
+
+The benchmark assertions, EXPERIMENTS.md, and the CSV exports all key
+into experiment rows by column name; these tests pin each experiment's
+output schema so a refactor cannot silently break the harness.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, Scale
+
+TINY = Scale(
+    name="tiny-contract",
+    radix=4,
+    dims=2,
+    warmup=40,
+    measure=200,
+    drain=2500,
+    message_length=8,
+    loads=(0.1,),
+    seed=8,
+)
+
+#: experiment id -> columns every row must carry
+EXPECTED_COLUMNS = {
+    "e01": {"load", "config", "latency_mean", "throughput"},
+    "e02": {"timeout", "latency_mean", "throughput", "kills"},
+    "e03": {"load", "config", "latency_mean"},
+    "e04": {"load", "config", "part", "latency_mean", "throughput"},
+    "e05": {"load", "config", "latency_mean", "throughput"},
+    "e06": {"load", "config", "latency_mean", "throughput"},
+    "e07": {"fault_rate", "latency_mean", "corrupt_deliveries",
+            "undelivered"},
+    "e08": {"dead_links", "latency_mean", "kills", "undelivered"},
+    "e09": {"load", "escape_grants", "cr_kills"},
+    "e10": {"load", "scheme", "kills", "latency_mean"},
+    "e11": {"buffer_depth", "payload", "hops"},
+    "e12": {"load", "pairs_checked", "fifo_violations"},
+    "e13": {"load", "routing", "short_mean", "long_mean"},
+    "e14": {"load", "routing", "std", "tail_ratio"},
+    "e15": {"channel_latency", "routing", "pad_overhead"},
+    "e16": {"pattern", "routing", "latency_mean", "throughput"},
+    "e17": {"load", "config", "latency_mean", "kill_rate"},
+    "e18": {"fault_rate", "scheme", "flits_per_payload", "lost"},
+    "e19": {"load", "scheme", "kills", "fifo_violations", "copy_held"},
+    "e20": {"part", "scheme", "recovery_events", "undelivered"},
+    "e21": {"latency_bin", "cr", "dor"},
+    "e22": {"load", "scheme", "clock_ns", "latency_ns",
+            "throughput_flits_us"},
+    "e23": {"load", "scheme", "workload_msgs", "makespan",
+            "undelivered"},
+    "t01": {"interface", "total_gates", "total_latches"},
+    "t02": {"router", "vcs", "total_ns", "vs_dor"},
+    "t03": {"organisation", "flits_per_router", "thr_per_buffer_flit"},
+}
+
+
+_ROWS_CACHE = {}
+
+
+def rows_for(exp_id):
+    if exp_id not in _ROWS_CACHE:
+        _ROWS_CACHE[exp_id] = REGISTRY[exp_id].run(TINY)
+    return _ROWS_CACHE[exp_id]
+
+
+def test_contract_covers_registry():
+    assert set(EXPECTED_COLUMNS) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPECTED_COLUMNS))
+def test_rows_carry_expected_columns(exp_id):
+    rows = rows_for(exp_id)
+    assert rows, f"{exp_id} produced no rows"
+    required = EXPECTED_COLUMNS[exp_id]
+    for row in rows:
+        missing = required - set(row)
+        assert not missing, f"{exp_id} row missing {missing}: {row}"
+
+
+@pytest.mark.parametrize("exp_id", sorted(EXPECTED_COLUMNS))
+def test_tables_render(exp_id):
+    module = REGISTRY[exp_id]
+    text = module.table(rows_for(exp_id))
+    assert isinstance(text, str) and len(text.splitlines()) >= 3

@@ -1,0 +1,54 @@
+"""CRC-16 check-code model: the detection assumption grounded."""
+
+import random
+
+import pytest
+
+from repro.faults.crc import check_flit, crc16, flip_bits, flit_with_crc
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert crc16(b"123456789") == 0x29B1
+
+    def test_empty_payload(self):
+        assert crc16(b"") == 0xFFFF
+
+    def test_roundtrip(self):
+        payload = b"\x12\x34\x56\x78"
+        assert check_flit(flit_with_crc(payload))
+
+    def test_too_short_flit(self):
+        with pytest.raises(ValueError):
+            check_flit(b"\x01")
+
+
+class TestDetection:
+    def test_all_single_bit_errors_detected(self):
+        payload = bytes(range(8))
+        flit = flit_with_crc(payload)
+        for bit in range(len(flit) * 8):
+            assert not check_flit(flip_bits(flit, [bit])), (
+                f"single-bit error at {bit} undetected"
+            )
+
+    def test_all_double_bit_errors_detected_sampled(self):
+        payload = bytes(range(6))
+        flit = flit_with_crc(payload)
+        rng = random.Random(0)
+        total_bits = len(flit) * 8
+        for _ in range(500):
+            a, b = rng.sample(range(total_bits), 2)
+            assert not check_flit(flip_bits(flit, [a, b]))
+
+    def test_burst_errors_detected(self):
+        payload = bytes(range(16))
+        flit = flit_with_crc(payload)
+        for start in range(0, len(flit) * 8 - 16, 7):
+            burst = list(range(start, start + 13))
+            assert not check_flit(flip_bits(flit, burst))
+
+    def test_flip_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bits(b"\x00", [9])

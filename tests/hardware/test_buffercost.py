@@ -1,0 +1,45 @@
+"""Buffer-storage accounting."""
+
+from repro.hardware.buffercost import (
+    BufferOrganisation,
+    standard_organisations,
+    storage_table,
+    throughput_per_flit,
+)
+
+
+class TestOrganisation:
+    def test_flit_count(self):
+        org = BufferOrganisation("x", num_vcs=2, buffer_depth=4, ports=5)
+        assert org.flits_per_router == 40
+
+    def test_bits(self):
+        org = BufferOrganisation("x", 2, 4, 5)
+        assert org.bits_per_router(16) == 640
+        assert org.bits_per_router(32) == 1280
+
+    def test_throughput_per_flit(self):
+        org = BufferOrganisation("x", 1, 2, 5)
+        assert throughput_per_flit(0.2, org) == 0.02
+
+
+class TestStandardSet:
+    def test_covers_e04_e05_configs(self):
+        names = {o.name for o in standard_organisations()}
+        assert "dor_2vc_d16" in names
+        assert "cr_2vc_d2" in names
+        assert "dor_8vc_d2" in names
+
+    def test_cr_budget_fraction_of_deep_dor(self):
+        orgs = {o.name: o for o in standard_organisations()}
+        assert (
+            orgs["cr_2vc_d2"].flits_per_router * 8
+            == orgs["dor_2vc_d16"].flits_per_router
+        )
+
+    def test_table_normalised_to_cr(self):
+        rows = storage_table()
+        cr = next(r for r in rows if r["organisation"] == "cr_2vc_d2")
+        assert cr["vs_cr_2vc"] == 1.0
+        deep = next(r for r in rows if r["organisation"] == "dor_2vc_d16")
+        assert deep["vs_cr_2vc"] == 8.0

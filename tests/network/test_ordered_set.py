@@ -1,0 +1,56 @@
+"""OrderedSet: the determinism-preserving collection the engine uses."""
+
+from repro.network.engine import OrderedSet
+
+
+class TestOrderedSet:
+    def test_insertion_order_preserved(self):
+        items = [object() for _ in range(10)]
+        ordered = OrderedSet()
+        for item in items:
+            ordered.add(item)
+        assert list(ordered) == items
+
+    def test_membership_and_len(self):
+        ordered = OrderedSet()
+        a, b = object(), object()
+        ordered.add(a)
+        assert a in ordered
+        assert b not in ordered
+        assert len(ordered) == 1
+
+    def test_discard_idempotent(self):
+        ordered = OrderedSet()
+        a = object()
+        ordered.add(a)
+        ordered.discard(a)
+        ordered.discard(a)  # no error
+        assert a not in ordered
+        assert len(ordered) == 0
+
+    def test_re_add_moves_nothing(self):
+        """Re-adding an existing element keeps its original position
+        (dict semantics), so engine fairness rotation stays stable."""
+        ordered = OrderedSet()
+        a, b = object(), object()
+        ordered.add(a)
+        ordered.add(b)
+        ordered.add(a)
+        assert list(ordered) == [a, b]
+
+    def test_truthiness(self):
+        ordered = OrderedSet()
+        assert not ordered
+        ordered.add(object())
+        assert ordered
+
+    def test_discard_during_iteration_snapshot(self):
+        """Engine code iterates list(ordered) copies; the underlying
+        dict supports removal between snapshots."""
+        ordered = OrderedSet()
+        items = [object() for _ in range(5)]
+        for item in items:
+            ordered.add(item)
+        for item in list(ordered):
+            ordered.discard(item)
+        assert len(ordered) == 0

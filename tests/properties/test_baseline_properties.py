@@ -1,0 +1,143 @@
+"""Property-based tests for the baseline protocols (drop-at-block and
+the software retry layer): their safety guarantees must hold over
+randomised configurations just like CR's."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SimConfig, run_simulation
+
+slow = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+drop_config_st = st.builds(
+    SimConfig,
+    routing=st.just("drop"),
+    radix=st.just(4),
+    dims=st.just(2),
+    num_vcs=st.sampled_from([1, 2]),
+    buffer_depth=st.sampled_from([1, 2]),
+    message_length=st.sampled_from([4, 12]),
+    load=st.sampled_from([0.1, 0.3]),
+    drop_at_block_cycles=st.sampled_from([1, 2, 8]),
+    order_preserving=st.just(False),
+    seed=st.integers(0, 2**16),
+    warmup=st.just(50),
+    measure=st.just(250),
+    drain=st.just(8000),
+    watchdog=st.just(10000),
+)
+
+swr_config_st = st.builds(
+    SimConfig,
+    routing=st.just("dor"),
+    software_retry=st.just(True),
+    order_preserving=st.just(False),
+    radix=st.just(4),
+    dims=st.just(2),
+    message_length=st.sampled_from([4, 8]),
+    load=st.sampled_from([0.05, 0.15]),
+    fault_rate=st.sampled_from([0.0, 2e-3]),
+    swr_timeout=st.sampled_from([128, 512]),
+    seed=st.integers(0, 2**16),
+    warmup=st.just(50),
+    measure=st.just(250),
+    drain=st.just(10000),
+    watchdog=st.just(12000),
+)
+
+
+class TestDropAtBlockProperties:
+    @slow
+    @given(config=drop_config_st)
+    def test_drains_and_delivers_exactly_once(self, config):
+        result = run_simulation(config)
+        assert result.drained
+        assert result.report["undelivered"] == 0
+        assert (
+            len(result.ledger.delivered_uids)
+            == result.report["messages_delivered"]
+        )
+
+    @slow
+    @given(config=drop_config_st)
+    def test_network_clean_after_drain(self, config):
+        result = run_simulation(config, keep_engine=True)
+        for router in result.engine.routers:
+            assert not router.claims
+            assert not router.out_owner
+            for port_bufs in router.in_buffers:
+                for buf in port_bufs:
+                    assert buf.occupancy == 0 and buf.owner is None
+
+
+pcs_config_st = st.builds(
+    SimConfig,
+    routing=st.just("pcs"),
+    radix=st.just(4),
+    dims=st.just(2),
+    num_vcs=st.sampled_from([1, 2]),
+    buffer_depth=st.sampled_from([1, 2]),
+    message_length=st.sampled_from([4, 12]),
+    load=st.sampled_from([0.05, 0.2]),
+    pcs_wait=st.sampled_from([1, 4, 8]),
+    seed=st.integers(0, 2**16),
+    warmup=st.just(50),
+    measure=st.just(250),
+    drain=st.just(8000),
+    watchdog=st.just(10000),
+)
+
+
+class TestPCSProperties:
+    @slow
+    @given(config=pcs_config_st)
+    def test_circuits_deliver_everything_exactly_once(self, config):
+        result = run_simulation(config, keep_engine=True)
+        assert result.drained
+        assert result.report["undelivered"] == 0
+        assert (
+            len(result.ledger.delivered_uids)
+            == result.report["messages_delivered"]
+        )
+        for router in result.engine.routers:
+            assert not router.out_owner
+            for port_bufs in router.in_buffers:
+                for buf in port_bufs:
+                    assert buf.occupancy == 0 and buf.owner is None
+
+
+class TestSoftwareRetryProperties:
+    @slow
+    @given(config=swr_config_st)
+    def test_host_sees_each_logical_message_at_most_once(self, config):
+        result = run_simulation(config, keep_engine=True)
+        layer = result.engine.reliability
+        report = layer.report()
+        assert report["host_deliveries"] == len(layer.delivered_logical)
+        # Conservation: every data message is delivered, failed, or
+        # still pending at cutoff.
+        tracked = (
+            report["host_deliveries"]
+            + report["failures"]
+            + report["pending"]
+        )
+        assert tracked >= len(layer.delivered_logical)
+
+    @slow
+    @given(config=swr_config_st)
+    def test_fault_free_accounting(self, config):
+        if config.fault_rate > 0:
+            return
+        result = run_simulation(config, keep_engine=True)
+        report = result.engine.reliability.report()
+        # Without faults nothing is ever discarded for corruption...
+        assert report["corrupt_discards"] == 0
+        # ...and every duplicate the host side deduplicated must stem
+        # from a spurious timer retransmission (the timer racing a slow
+        # ack), never from thin air.
+        assert report["duplicates"] <= report["retransmissions"]
+        assert report["failures"] == 0

@@ -1,0 +1,38 @@
+"""Property-based tests of the CRC check-code model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.crc import check_flit, flip_bits, flit_with_crc
+
+payload_st = st.binary(min_size=1, max_size=32)
+
+
+class TestCrcProperties:
+    @given(payload=payload_st)
+    def test_clean_flits_check(self, payload):
+        assert check_flit(flit_with_crc(payload))
+
+    @given(payload=payload_st, data=st.data())
+    def test_single_bit_errors_detected(self, payload, data):
+        flit = flit_with_crc(payload)
+        bit = data.draw(st.integers(0, len(flit) * 8 - 1))
+        assert not check_flit(flip_bits(flit, [bit]))
+
+    @given(payload=payload_st, data=st.data())
+    def test_double_bit_errors_detected(self, payload, data):
+        flit = flit_with_crc(payload)
+        total = len(flit) * 8
+        a = data.draw(st.integers(0, total - 1))
+        b = data.draw(st.integers(0, total - 1).filter(lambda x: x != a))
+        assert not check_flit(flip_bits(flit, [a, b]))
+
+    @given(payload=payload_st, data=st.data())
+    @settings(max_examples=50)
+    def test_flip_is_involutive(self, payload, data):
+        flit = flit_with_crc(payload)
+        bits = data.draw(
+            st.lists(st.integers(0, len(flit) * 8 - 1), max_size=8)
+        )
+        twice = flip_bits(flip_bits(flit, bits), bits)
+        assert twice == flit

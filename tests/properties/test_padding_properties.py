@@ -1,0 +1,89 @@
+"""Property-based tests of the padding arithmetic (the Imin lemma's
+static half: the formulas themselves)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.padding import (
+    PaddingParams,
+    cr_min_injection_length,
+    cr_wire_length,
+    fcr_wire_length,
+    padding_overhead,
+    path_capacity,
+)
+
+params_st = st.builds(
+    PaddingParams,
+    buffer_depth=st.integers(1, 16),
+    channel_latency=st.integers(1, 4),
+    eject_slots=st.integers(1, 4),
+    slack=st.integers(1, 8),
+)
+
+hops_st = st.integers(0, 32)
+payload_st = st.integers(1, 512)
+
+
+class TestCapacity:
+    @given(hops=hops_st, params=params_st)
+    def test_capacity_positive_and_monotone_in_hops(self, hops, params):
+        here = path_capacity(hops, params)
+        assert here > 0
+        assert path_capacity(hops + 1, params) > here
+
+    @given(hops=hops_st, params=params_st)
+    def test_imin_exceeds_capacity(self, hops, params):
+        """Injecting Imin flits forces at least one consumption."""
+        assert cr_min_injection_length(hops, params) == \
+            path_capacity(hops, params) + 1
+
+
+class TestCrWire:
+    @given(payload=payload_st, hops=hops_st, params=params_st)
+    def test_wire_at_least_payload(self, payload, hops, params):
+        assert cr_wire_length(payload, hops, params) >= payload
+
+    @given(payload=payload_st, hops=hops_st, params=params_st)
+    def test_wire_at_least_imin(self, payload, hops, params):
+        assert cr_wire_length(payload, hops, params) >= \
+            cr_min_injection_length(hops, params)
+
+    @given(payload=payload_st, hops=hops_st, params=params_st)
+    def test_wire_is_tight(self, payload, hops, params):
+        """No padding beyond what the lemma needs."""
+        wire = cr_wire_length(payload, hops, params)
+        assert wire == max(payload, cr_min_injection_length(hops, params))
+
+    @given(payload=payload_st, hops=hops_st, params=params_st)
+    def test_overhead_in_unit_interval(self, payload, hops, params):
+        wire = cr_wire_length(payload, hops, params)
+        assert 0.0 <= padding_overhead(payload, wire) < 1.0
+
+
+class TestFcrWire:
+    @given(payload=payload_st, hops=hops_st, params=params_st)
+    def test_fcr_dominates_cr(self, payload, hops, params):
+        assert fcr_wire_length(payload, hops, params) >= \
+            cr_wire_length(payload, hops, params)
+
+    @given(payload=payload_st, hops=hops_st, params=params_st)
+    def test_fkill_window_is_open(self, payload, hops, params):
+        """After the last payload flit is consumed at the receiver, the
+        source still holds more flits than the path can absorb plus the
+        FKILL return latency -- so the FKILL always arrives in time.
+
+        Worst case: the source has injected ``payload + capacity`` flits
+        when the last payload flit is consumed; the FKILL takes
+        ``hops * channel_latency`` cycles during which at most that many
+        more flits are injected.  The remaining wire must exceed both.
+        """
+        wire = fcr_wire_length(payload, hops, params)
+        worst_injected = payload + path_capacity(hops, params)
+        fkill_return = hops * params.channel_latency
+        assert wire > worst_injected + fkill_return
+
+    @given(payload=payload_st, hops=hops_st, params=params_st)
+    def test_fcr_monotone_in_payload(self, payload, hops, params):
+        assert fcr_wire_length(payload + 1, hops, params) > \
+            fcr_wire_length(payload, hops, params)

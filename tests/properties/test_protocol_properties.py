@@ -1,0 +1,114 @@
+"""Property-based end-to-end tests of the CR/FCR guarantees.
+
+Each property runs a full (small) simulation drawn from a randomised
+configuration and checks the protocol invariants of DESIGN.md:
+
+1. padding lemma: header consumed before commit,
+2. deadlock recovery: CR never wedges and always drains,
+3. exactly-once delivery (the ledger raises on duplicates),
+4. per-pair FIFO order,
+5. FCR integrity: no corrupt payload delivered, and the FKILL window
+   (late_corruption counter) never misses.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SimConfig, run_simulation
+
+slow = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+cr_config_st = st.builds(
+    SimConfig,
+    routing=st.just("cr"),
+    radix=st.sampled_from([4, 5]),
+    dims=st.just(2),
+    num_vcs=st.sampled_from([1, 2]),
+    buffer_depth=st.sampled_from([1, 2, 4]),
+    message_length=st.sampled_from([2, 8, 24]),
+    load=st.sampled_from([0.1, 0.3, 0.5]),
+    seed=st.integers(0, 2**16),
+    warmup=st.just(50),
+    measure=st.just(300),
+    drain=st.just(6000),
+    watchdog=st.just(8000),
+)
+
+fcr_config_st = st.builds(
+    SimConfig,
+    routing=st.just("fcr"),
+    radix=st.just(4),
+    dims=st.just(2),
+    num_vcs=st.sampled_from([1, 2]),
+    buffer_depth=st.sampled_from([1, 2]),
+    message_length=st.sampled_from([2, 8]),
+    load=st.sampled_from([0.05, 0.1]),
+    fault_rate=st.sampled_from([0.0, 1e-3, 5e-3]),
+    seed=st.integers(0, 2**16),
+    warmup=st.just(50),
+    measure=st.just(250),
+    drain=st.just(8000),
+    watchdog=st.just(10000),
+)
+
+
+class TestCrProperties:
+    @slow
+    @given(config=cr_config_st)
+    def test_cr_never_wedges_and_drains(self, config):
+        """Deadlock recovery: any CR run completes and drains."""
+        result = run_simulation(config)  # watchdog raises on a wedge
+        assert result.drained
+        assert result.report["undelivered"] == 0
+
+    @slow
+    @given(config=cr_config_st)
+    def test_padding_lemma_header_before_commit(self, config):
+        """When the tail leaves the source the header has already been
+        consumed at the destination."""
+        result = run_simulation(config)
+        for msg in result.ledger.deliveries:
+            assert msg.header_consumed_at is not None
+            assert msg.committed_at is not None
+            assert msg.header_consumed_at <= msg.committed_at
+
+    @slow
+    @given(config=cr_config_st)
+    def test_exactly_once_and_fifo(self, config):
+        """The ledger raised on any duplicate during the run; FIFO is
+        validated per pair afterwards."""
+        result = run_simulation(config)
+        delivered = result.report["messages_delivered"]
+        assert len(result.ledger.delivered_uids) == delivered
+        result.ledger.validate_fifo()
+
+    @slow
+    @given(config=cr_config_st)
+    def test_network_clean_after_drain(self, config):
+        """No leaked buffers, claims, or worm ownership after draining."""
+        result = run_simulation(config, keep_engine=True)
+        engine = result.engine
+        for router in engine.routers:
+            assert not router.claims
+            assert not router.out_owner
+            for port_bufs in router.in_buffers:
+                for buf in port_bufs:
+                    assert buf.occupancy == 0
+                    assert buf.owner is None
+
+
+class TestFcrProperties:
+    @slow
+    @given(config=fcr_config_st)
+    def test_integrity_and_completeness(self, config):
+        """FCR delivers every message, never a corrupt one, and the
+        FKILL window never closes too late."""
+        result = run_simulation(config)
+        assert result.ledger.corrupt_deliveries == 0
+        assert result.report.get("late_corruption", 0) == 0
+        assert result.drained
+        assert result.report["undelivered"] == 0

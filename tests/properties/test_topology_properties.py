@@ -1,0 +1,86 @@
+"""Property-based tests of topology metric invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.hypercube import Hypercube
+from repro.topology.torus import KAryNCube
+
+
+@st.composite
+def cube_and_pair(draw):
+    radix = draw(st.integers(3, 6))
+    dims = draw(st.integers(1, 3))
+    wrap = draw(st.booleans())
+    topo = KAryNCube(radix, dims, wrap=wrap)
+    a = draw(st.integers(0, topo.num_nodes - 1))
+    b = draw(st.integers(0, topo.num_nodes - 1))
+    return topo, a, b
+
+
+@st.composite
+def cube_and_triple(draw):
+    topo, a, b = draw(cube_and_pair())
+    c = draw(st.integers(0, topo.num_nodes - 1))
+    return topo, a, b, c
+
+
+class TestMetricProperties:
+    @given(cube_and_pair())
+    @settings(max_examples=200)
+    def test_symmetry(self, case):
+        topo, a, b = case
+        assert topo.min_distance(a, b) == topo.min_distance(b, a)
+
+    @given(cube_and_pair())
+    @settings(max_examples=200)
+    def test_identity(self, case):
+        topo, a, b = case
+        assert (topo.min_distance(a, b) == 0) == (a == b)
+
+    @given(cube_and_triple())
+    @settings(max_examples=200)
+    def test_triangle_inequality(self, case):
+        topo, a, b, c = case
+        assert topo.min_distance(a, c) <= (
+            topo.min_distance(a, b) + topo.min_distance(b, c)
+        )
+
+    @given(cube_and_pair())
+    @settings(max_examples=200)
+    def test_productive_links_exist_and_reduce(self, case):
+        topo, a, b = case
+        if a == b:
+            assert topo.productive_links(a, b) == []
+            return
+        links = topo.productive_links(a, b)
+        assert links
+        d = topo.min_distance(a, b)
+        for link in links:
+            assert topo.min_distance(link.dst, b) == d - 1
+
+    @given(cube_and_pair())
+    @settings(max_examples=100)
+    def test_dor_walk_is_minimal(self, case):
+        topo, a, b = case
+        if a == b:
+            return
+        node, hops = a, 0
+        while node != b:
+            node = topo.dor_link(node, b).dst
+            hops += 1
+        assert hops == topo.min_distance(a, b)
+
+    @given(st.integers(1, 6), st.data())
+    @settings(max_examples=100)
+    def test_hypercube_distance_is_hamming(self, dims, data):
+        topo = Hypercube(dims)
+        a = data.draw(st.integers(0, topo.num_nodes - 1))
+        b = data.draw(st.integers(0, topo.num_nodes - 1))
+        assert topo.min_distance(a, b) == bin(a ^ b).count("1")
+
+    @given(cube_and_pair())
+    @settings(max_examples=100)
+    def test_coords_roundtrip(self, case):
+        topo, a, _ = case
+        assert topo.node_at(topo.coords(a)) == a

@@ -1,0 +1,52 @@
+"""CSV export round-trips and the CLI sweep command."""
+
+from repro.cli import main as cli_main
+from repro.sim.export import read_csv, rows_to_csv
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        rows = [
+            {"load": 0.1, "latency": 42.5},
+            {"load": 0.2, "latency": 99.0},
+        ]
+        path = tmp_path / "sweep.csv"
+        assert rows_to_csv(rows, str(path)) == 2
+        back = read_csv(str(path))
+        assert back[0]["load"] == "0.1"
+        assert back[1]["latency"] == "99.0"
+
+    def test_union_of_columns(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = tmp_path / "union.csv"
+        rows_to_csv(rows, str(path))
+        back = read_csv(str(path))
+        assert set(back[0]) == {"a", "b"}
+        assert back[0]["b"] == ""
+
+    def test_explicit_columns_filter(self, tmp_path):
+        rows = [{"a": 1, "b": 2}]
+        path = tmp_path / "cols.csv"
+        rows_to_csv(rows, str(path), columns=["a"])
+        back = read_csv(str(path))
+        assert set(back[0]) == {"a"}
+
+
+class TestCliSweep:
+    def test_sweep_prints_and_writes(self, tmp_path, capsys):
+        out = tmp_path / "cr.csv"
+        code = cli_main(
+            [
+                "sweep", "--routing", "cr", "--radix", "4",
+                "--loads", "0.1,0.2", "--message-length", "8",
+                "--warmup", "50", "--measure", "200", "--drain", "2000",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "load sweep" in text
+        assert out.exists()
+        back = read_csv(str(out))
+        assert len(back) == 2
+        assert float(back[0]["latency_mean"]) > 0

@@ -1,0 +1,55 @@
+"""Seed replication utilities."""
+
+import pytest
+
+from repro import SimConfig
+from repro.sim.replicate import replicate, significantly_better
+
+
+def tiny(**overrides):
+    base = dict(
+        radix=4, dims=2, routing="cr", load=0.2, message_length=8,
+        warmup=100, measure=400, drain=3000,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+class TestReplicate:
+    def test_summary_shape(self):
+        summary = replicate(tiny(), seeds=[1, 2, 3])
+        assert set(summary) == {"latency_mean", "throughput", "kill_rate"}
+        for stats in summary.values():
+            assert stats["n"] == 3
+            assert stats["min"] <= stats["mean"] <= stats["max"]
+            assert stats["std"] >= 0
+
+    def test_seeds_actually_vary(self):
+        summary = replicate(tiny(), seeds=[1, 2, 3, 4])
+        assert summary["latency_mean"]["std"] > 0
+
+    def test_single_seed_halfwidth_zero(self):
+        summary = replicate(tiny(), seeds=[5], metrics=["latency_mean"])
+        assert summary["latency_mean"]["rel_halfwidth"] == 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(tiny(), seeds=[])
+
+
+class TestComparison:
+    def test_clear_gap_detected(self):
+        # Load 0.1 vs 0.45 latency: unambiguously different.
+        low = tiny(load=0.1)
+        high = tiny(load=0.45, drain=6000)
+        assert significantly_better(
+            low, high, "latency_mean", seeds=[1, 2, 3],
+            higher_is_better=False,
+        )
+
+    def test_identical_configs_not_different(self):
+        config = tiny()
+        assert not significantly_better(
+            config, config, "latency_mean", seeds=[1, 2, 3],
+            higher_is_better=False,
+        )

@@ -1,0 +1,91 @@
+"""End-to-end runs through the public entry point."""
+
+import pytest
+
+from repro import SimConfig, run_simulation
+from repro.sim.sweep import (
+    load_sweep,
+    matrix_sweep,
+    param_sweep,
+    saturation_load,
+)
+
+
+def tiny(**overrides):
+    base = dict(
+        radix=4, dims=2, warmup=100, measure=400, drain=3000,
+        message_length=8, load=0.15, seed=21,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+class TestRunSimulation:
+    @pytest.mark.parametrize("routing", ["cr", "dor", "duato", "fcr",
+                                         "dor+cr"])
+    def test_all_schemes_deliver(self, routing):
+        result = run_simulation(tiny(routing=routing))
+        assert result.report["messages_delivered"] > 0
+        assert result.latency > 0
+        assert result.drained
+
+    def test_turn_model_on_mesh(self):
+        result = run_simulation(tiny(routing="turn", topology="mesh"))
+        assert result.report["messages_delivered"] > 0
+
+    def test_cr_on_hypercube(self):
+        result = run_simulation(tiny(routing="cr", topology="hypercube",
+                                     dims=4))
+        assert result.report["messages_delivered"] > 0
+
+    def test_deterministic_given_seed(self):
+        a = run_simulation(tiny(routing="cr", seed=5))
+        b = run_simulation(tiny(routing="cr", seed=5))
+        assert a.report["messages_delivered"] == \
+            b.report["messages_delivered"]
+        assert a.latency == b.latency
+
+    def test_seed_changes_outcome(self):
+        a = run_simulation(tiny(routing="cr", seed=5))
+        b = run_simulation(tiny(routing="cr", seed=6))
+        assert a.report["messages_created"] != \
+            b.report["messages_created"]
+
+    def test_keep_engine_flag(self):
+        with_engine = run_simulation(tiny(), keep_engine=True)
+        without = run_simulation(tiny())
+        assert with_engine.engine is not None
+        assert without.engine is None
+
+    def test_result_accessors(self):
+        result = run_simulation(tiny())
+        assert result["messages_delivered"] == \
+            result.report["messages_delivered"]
+        assert result.throughput == result.report["throughput"]
+
+
+class TestSweeps:
+    def test_load_sweep_rows(self):
+        rows = load_sweep(tiny(), [0.1, 0.2], label="cr")
+        assert [row["load"] for row in rows] == [0.1, 0.2]
+        assert all(row["config"] == "cr" for row in rows)
+        assert all("latency_mean" in row for row in rows)
+
+    def test_param_sweep(self):
+        rows = param_sweep(tiny(), "buffer_depth", [1, 2])
+        assert [row["buffer_depth"] for row in rows] == [1, 2]
+
+    def test_matrix_sweep(self):
+        rows = matrix_sweep(
+            {"cr": tiny(routing="cr"), "dor": tiny(routing="dor")},
+            [0.1],
+        )
+        assert len(rows) == 2
+        assert {row["config"] for row in rows} == {"cr", "dor"}
+
+    def test_saturation_load_monotone_latency(self):
+        knee = saturation_load(
+            tiny(routing="dor"), [0.1, 0.3, 0.6, 0.9],
+            latency_limit_factor=4.0,
+        )
+        assert 0.1 <= knee < 0.9

@@ -1,0 +1,76 @@
+"""SVG network rendering."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro import SimConfig, run_simulation
+from repro.stats.svg import _heat_colour, render_network_svg
+
+
+def rendered_engine(**overrides):
+    base = dict(
+        routing="cr", radix=4, dims=2, load=0.25, message_length=8,
+        warmup=0, measure=400, drain=0, seed=3,
+    )
+    base.update(overrides)
+    return run_simulation(SimConfig(**base), keep_engine=True).engine
+
+
+class TestHeatColour:
+    def test_extremes(self):
+        assert _heat_colour(0.0) == "rgb(255,255,255)"
+        assert _heat_colour(1.0) == "rgb(255,0,0)"
+
+    def test_midpoint_is_amber(self):
+        assert _heat_colour(0.5) == "rgb(255,170,0)"
+
+    def test_clamps_out_of_range(self):
+        assert _heat_colour(-1.0) == _heat_colour(0.0)
+        assert _heat_colour(2.0) == _heat_colour(1.0)
+
+
+class TestRendering:
+    def test_well_formed_xml(self):
+        svg = render_network_svg(rendered_engine(), title="test")
+        xml.dom.minidom.parseString(svg)
+
+    def test_one_circle_per_router(self):
+        engine = rendered_engine()
+        svg = render_network_svg(engine)
+        assert svg.count("<circle") == engine.topology.num_nodes
+
+    def test_one_line_per_link_channel(self):
+        engine = rendered_engine()
+        svg = render_network_svg(engine)
+        assert svg.count("<line") == len(engine.network.link_channels)
+
+    def test_dead_links_dashed(self):
+        engine = rendered_engine(permanent_faults=1, routing="fcr",
+                                 misrouting=True, load=0.1)
+        svg = render_network_svg(engine)
+        assert "stroke-dasharray" in svg
+
+    def test_title_rendered(self):
+        svg = render_network_svg(rendered_engine(), title="hello torus")
+        assert "hello torus" in svg
+
+    def test_rejects_non_2d(self):
+        engine = rendered_engine(dims=1, radix=6)
+        with pytest.raises(ValueError, match="2D"):
+            render_network_svg(engine)
+
+    def test_wrap_stubs_are_axis_aligned(self):
+        svg = render_network_svg(rendered_engine())
+        for line in svg.splitlines():
+            if "<line" not in line:
+                continue
+            attrs = dict(
+                part.split("=")
+                for part in line.replace("<line ", "").replace("/>", "")
+                .replace('"', "").split()
+                if "=" in part
+            )
+            dx = float(attrs["x2"]) - float(attrs["x1"])
+            dy = float(attrs["y2"]) - float(attrs["y1"])
+            assert dx == 0 or dy == 0, f"diagonal link: {line}"

@@ -1,0 +1,65 @@
+"""CLI surface: every subcommand and failure mode."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import REGISTRY
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main([])
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["experiment", "e99"])
+
+    def test_unknown_routing_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "--routing", "banana"])
+
+
+class TestListCommand:
+    def test_lists_every_registered_experiment(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in REGISTRY:
+            assert exp_id in out
+
+
+class TestRunCommand:
+    def test_mesh_topology(self, capsys):
+        code = cli_main(
+            [
+                "run", "--routing", "turn", "--topology", "mesh",
+                "--radix", "4", "--load", "0.1",
+                "--warmup", "50", "--measure", "200", "--drain", "1500",
+                "--message-length", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4-ary 2-mesh" in out
+
+    def test_fcr_with_faults(self, capsys):
+        code = cli_main(
+            [
+                "run", "--routing", "fcr", "--radix", "4",
+                "--fault-rate", "0.001", "--load", "0.08",
+                "--warmup", "50", "--measure", "200", "--drain", "4000",
+                "--message-length", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency_mean" in out
+        assert "fcr on 4-ary 2-torus" in out
+
+
+class TestExperimentCommand:
+    def test_cheap_experiment_quick_scale(self, capsys):
+        assert cli_main(["experiment", "t01"]) == 0
+        out = capsys.readouterr().out
+        assert "interface" in out
+        assert "fcr" in out
