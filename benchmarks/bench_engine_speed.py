@@ -32,3 +32,63 @@ def test_engine_cycle_rate(benchmark):
     # Sanity: the run actually simulated traffic.  The benchmark table
     # reports the time per CYCLES simulated cycles.
     assert engine.stats.counters["messages_delivered"] > 100
+
+
+# --- parallel sweep executor ------------------------------------------
+#
+# A 9-point E01-style load sweep, serial vs a 4-worker process pool
+# (repro.sim.parallel).  Rows must be byte-identical; the two timings
+# track the fan-out speedup in the perf trajectory.
+
+SWEEP_LOADS = tuple(0.05 * (i + 1) for i in range(9))
+SWEEP_WORKERS = 4
+
+
+def _sweep_base():
+    return SimConfig(
+        radix=8,
+        dims=2,
+        routing="cr",
+        num_vcs=2,
+        message_length=16,
+        warmup=200,
+        measure=1000,
+        drain=3000,
+        seed=7,
+    )
+
+
+def test_sweep_serial(benchmark):
+    from repro import load_sweep
+
+    rows = benchmark.pedantic(
+        lambda: load_sweep(_sweep_base(), SWEEP_LOADS, workers=1),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == len(SWEEP_LOADS)
+
+
+def test_sweep_parallel_identical_and_faster(benchmark):
+    import os
+    import time
+
+    from repro import load_sweep
+
+    serial_start = time.perf_counter()
+    serial_rows = load_sweep(_sweep_base(), SWEEP_LOADS, workers=1)
+    serial_elapsed = time.perf_counter() - serial_start
+
+    parallel_rows = benchmark.pedantic(
+        lambda: load_sweep(_sweep_base(), SWEEP_LOADS,
+                           workers=SWEEP_WORKERS),
+        rounds=1, iterations=1,
+    )
+    parallel_elapsed = benchmark.stats.stats.mean
+
+    assert parallel_rows == serial_rows  # byte-identical fan-out
+    speedup = serial_elapsed / parallel_elapsed
+    print(f"\nsweep speedup with {SWEEP_WORKERS} workers: "
+          f"{speedup:.2f}x ({serial_elapsed:.1f}s -> "
+          f"{parallel_elapsed:.1f}s)")
+    if (os.cpu_count() or 1) >= SWEEP_WORKERS:
+        assert speedup >= 2.0

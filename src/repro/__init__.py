@@ -65,8 +65,21 @@ from .routing.turnmodel import NegativeFirst
 from .sim.config import SCHEMES, SimConfig
 from .sim.simulator import SimResult, run_simulation
 from .sim.export import read_csv, rows_to_csv
+from .sim.parallel import (
+    PointStatus,
+    SweepCache,
+    config_cache_key,
+    run_reports,
+)
 from .sim.replicate import replicate, significantly_better
-from .sim.sweep import load_sweep, matrix_sweep, param_sweep, saturation_load
+from .sim.sweep import (
+    load_sweep,
+    matrix_sweep,
+    param_sweep,
+    report_row,
+    result_row,
+    saturation_load,
+)
 from .stats.collector import StatsCollector
 from .stats.latency import LatencySummary, histogram, percentile, summarize
 from .stats.report import format_series, format_table
@@ -121,6 +134,12 @@ __all__ = [
     "param_sweep",
     "matrix_sweep",
     "saturation_load",
+    "report_row",
+    "result_row",
+    "run_reports",
+    "SweepCache",
+    "PointStatus",
+    "config_cache_key",
     "replicate",
     "significantly_better",
     "rows_to_csv",

@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from .experiments import PAPER, QUICK, REGISTRY
 from .sim.config import SCHEMES, SimConfig
+from .sim.parallel import DEFAULT_CACHE_DIR, PointStatus, SweepCache
 from .sim.simulator import run_simulation
 from .stats.report import format_table
 
@@ -58,6 +59,18 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument(
         "--scale", default="quick", choices=["quick", "paper"]
     )
+    exp_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="sweep process-pool width (0 = one per CPU; "
+             "default: the scale's own setting)",
+    )
+    exp_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and don't write the on-disk sweep result cache",
+    )
 
     sweep_p = sub.add_parser("sweep", help="latency/throughput load sweep")
     sweep_p.add_argument(
@@ -78,6 +91,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--drain", type=int, default=4000)
     sweep_p.add_argument("--seed", type=int, default=42)
     sweep_p.add_argument("--out", default=None, help="CSV output path")
+    sweep_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run sweep points on a process pool of this size "
+             "(0 = one worker per CPU; default 1 = serial)",
+    )
+    sweep_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="don't read or write the on-disk sweep result cache",
+    )
+    sweep_p.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="sweep result cache location (default: %(default)s)",
+    )
 
     trace_p = sub.add_parser(
         "trace",
@@ -137,6 +167,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(total: int):
+    """Per-point status lines on stderr (stdout stays machine-readable)."""
+    done = [0]
+
+    def report(status: PointStatus) -> None:
+        done[0] += 1
+        source = "cache" if status.cached else f"{status.elapsed:.1f}s"
+        print(
+            f"  [{done[0]}/{total}] point {status.index} done ({source})",
+            file=sys.stderr,
+        )
+
+    return report
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sim.export import rows_to_csv
     from .sim.sweep import load_sweep
@@ -154,7 +199,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         drain=args.drain,
         seed=args.seed,
     )
-    rows = load_sweep(base, loads, label=args.routing)
+    workers = args.workers if args.workers > 0 else None
+    cache = None if args.no_cache else SweepCache(args.cache_dir)
+    rows = load_sweep(
+        base,
+        loads,
+        label=args.routing,
+        workers=workers,
+        cache=cache,
+        progress=_progress_printer(len(loads)),
+    )
+    if cache is not None and cache.hits:
+        print(
+            f"  cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"in {cache.path}",
+            file=sys.stderr,
+        )
     print(
         format_table(
             rows,
@@ -236,6 +296,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module = REGISTRY[args.id]
     scale = PAPER if args.scale == "paper" else QUICK
+    if args.workers is not None:
+        scale = scale.scaled(
+            workers=args.workers if args.workers > 0 else None
+        )
+    if args.no_cache:
+        scale = scale.scaled(cache=False)
     rows = module.run(scale)
     print(module.table(rows))
     return 0

@@ -16,7 +16,7 @@ absolute latency numbers move with network diameter, as expected.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..sim.config import SimConfig
 
@@ -34,6 +34,16 @@ class Scale:
     message_length: int = 16
     loads: Tuple[float, ...] = (0.1, 0.2, 0.3)
     seed: int = 42
+    # Sweep execution: process-pool width (1 = serial, None = one per
+    # CPU) and result-cache switch, passed through to repro.sim.sweep
+    # by every experiment that sweeps.  ``cr-sim experiment --workers``
+    # overrides the per-scale default.
+    workers: Optional[int] = 1
+    cache: bool = False
+
+    def sweep_options(self) -> Dict[str, Any]:
+        """Keyword arguments experiments forward to the sweep helpers."""
+        return {"workers": self.workers, "cache": self.cache}
 
     def base_config(self, **overrides) -> SimConfig:
         config = SimConfig(
@@ -53,6 +63,9 @@ class Scale:
 
 QUICK = Scale(name="quick")
 
+# Paper scale is hours of serial pure-Python simulation, so it defaults
+# to one worker per CPU and the on-disk result cache; re-running a
+# partially completed reproduction only simulates the missing points.
 PAPER = Scale(
     name="paper",
     radix=16,
@@ -60,4 +73,6 @@ PAPER = Scale(
     measure=5000,
     drain=10000,
     loads=(0.05, 0.1, 0.2, 0.3, 0.4, 0.5),
+    workers=None,
+    cache=True,
 )

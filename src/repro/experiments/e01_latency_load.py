@@ -25,7 +25,7 @@ def run(scale: Scale = QUICK) -> List[Row]:
         "cr_2vc": base.with_(routing="cr"),
         "dor_2vc": base.with_(routing="dor"),
     }
-    return matrix_sweep(configs, scale.loads)
+    return matrix_sweep(configs, scale.loads, **scale.sweep_options())
 
 
 def table(rows: List[Row]) -> str:

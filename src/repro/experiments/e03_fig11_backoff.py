@@ -34,7 +34,7 @@ def run(scale: Scale = QUICK) -> List[Row]:
         for gap in STATIC_GAPS
     }
     configs["dynamic"] = base.with_(backoff=ExponentialBackoff(slot_cycles=16))
-    return matrix_sweep(configs, scale.loads)
+    return matrix_sweep(configs, scale.loads, **scale.sweep_options())
 
 
 def table(rows: List[Row]) -> str:

@@ -37,7 +37,7 @@ def run_part(scale: Scale, message_length: int, part: str) -> List[Row]:
     # The "CR d2 matches DOR d16" claim lives at saturation: extend the
     # shared load axis with a deep-saturation point.
     loads = tuple(scale.loads) + (round(scale.loads[-1] + 0.2, 3),)
-    rows = matrix_sweep(configs, loads)
+    rows = matrix_sweep(configs, loads, **scale.sweep_options())
     for row in rows:
         row["part"] = part
     return rows

@@ -36,7 +36,7 @@ def run(scale: Scale = QUICK) -> List[Row]:
         configs[f"cr_{vcs}vc_d2"] = base.with_(
             routing="cr", num_vcs=vcs, buffer_depth=2
         )
-    return matrix_sweep(configs, scale.loads)
+    return matrix_sweep(configs, scale.loads, **scale.sweep_options())
 
 
 def table(rows: List[Row]) -> str:

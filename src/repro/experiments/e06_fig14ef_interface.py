@@ -34,7 +34,7 @@ def run(scale: Scale = QUICK) -> List[Row]:
         configs[f"dor_{width}ch"] = base.with_(
             routing="dor", num_inject=width, num_sink=width
         )
-    return matrix_sweep(configs, scale.loads)
+    return matrix_sweep(configs, scale.loads, **scale.sweep_options())
 
 
 def table(rows: List[Row]) -> str:

@@ -35,7 +35,7 @@ def run(scale: Scale = QUICK) -> List[Row]:
         "dor+cr_1vc": base.with_(routing="dor+cr", num_vcs=1),
         "cr_1vc": base.with_(routing="cr", num_vcs=1),
     }
-    return matrix_sweep(configs, scale.loads)
+    return matrix_sweep(configs, scale.loads, **scale.sweep_options())
 
 
 def table(rows: List[Row]) -> str:

@@ -1,1 +1,2 @@
-"""Simulation driver: configuration, runs, sweeps, replication."""
+"""Simulation driver: configuration, runs, sweeps (serial or
+process-pool parallel with on-disk result caching), replication."""

@@ -7,15 +7,19 @@ values for the chosen metrics, plus a relative half-width estimate so a
 reader can judge whether an observed gap between two configurations is
 real.  (With one replication per point the paper-reproduction benches
 stay fast; use this module when a margin looks close.)
+
+Replications are independent runs, so they fan out across a process
+pool exactly like sweep points: pass ``workers=N`` (and optionally
+``cache=``) through to :func:`repro.sim.parallel.run_reports`.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from .config import SimConfig
-from .simulator import run_simulation
+from .parallel import CacheSpec, ProgressCallback, run_reports
 
 DEFAULT_METRICS = ("latency_mean", "throughput", "kill_rate")
 
@@ -24,26 +28,39 @@ def replicate(
     config: SimConfig,
     seeds: Iterable[int],
     metrics: Sequence[str] = DEFAULT_METRICS,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Run ``config`` once per seed; summarise each metric.
 
     Returns ``{metric: {mean, std, min, max, rel_halfwidth, n}}`` where
-    ``rel_halfwidth`` approximates a 95% confidence half-width relative
-    to the mean (1.96 * std / sqrt(n) / mean).
+    ``std`` is the sample standard deviation (``n - 1`` denominator;
+    0.0 when ``n == 1``) and ``rel_halfwidth`` approximates a 95%
+    confidence half-width relative to the mean
+    (1.96 * std / sqrt(n) / mean).
     """
-    samples: Dict[str, List[float]] = {metric: [] for metric in metrics}
-    count = 0
-    for seed in seeds:
-        result = run_simulation(config.with_(seed=seed))
-        count += 1
-        for metric in metrics:
-            samples[metric].append(float(result.report.get(metric, 0.0)))
+    seed_list = list(seeds)
+    count = len(seed_list)
     if count == 0:
         raise ValueError("need at least one seed")
+    reports = run_reports(
+        [config.with_(seed=seed) for seed in seed_list],
+        workers=workers, cache=cache, progress=progress,
+    )
+    samples: Dict[str, List[float]] = {
+        metric: [float(report.get(metric, 0.0)) for report in reports]
+        for metric in metrics
+    }
     out: Dict[str, Dict[str, float]] = {}
     for metric, values in samples.items():
         mean = sum(values) / count
-        var = sum((v - mean) ** 2 for v in values) / count
+        # Sample (n-1) variance: the population (n) denominator made the
+        # normal half-width below systematically overconfident at small n.
+        if count > 1:
+            var = sum((v - mean) ** 2 for v in values) / (count - 1)
+        else:
+            var = 0.0
         std = math.sqrt(var)
         halfwidth = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
         out[metric] = {
@@ -63,6 +80,8 @@ def significantly_better(
     metric: str,
     seeds: Iterable[int],
     higher_is_better: bool = True,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
 ) -> bool:
     """Crude two-config comparison: non-overlapping mean +/- halfwidth.
 
@@ -70,8 +89,10 @@ def significantly_better(
     even when a formal test might find a difference.
     """
     seed_list = list(seeds)
-    summary_a = replicate(a, seed_list, metrics=[metric])[metric]
-    summary_b = replicate(b, seed_list, metrics=[metric])[metric]
+    summary_a = replicate(a, seed_list, metrics=[metric],
+                          workers=workers, cache=cache)[metric]
+    summary_b = replicate(b, seed_list, metrics=[metric],
+                          workers=workers, cache=cache)[metric]
     half_a = summary_a["rel_halfwidth"] * summary_a["mean"]
     half_b = summary_b["rel_halfwidth"] * summary_b["mean"]
     if higher_is_better:

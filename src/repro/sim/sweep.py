@@ -1,11 +1,20 @@
-"""Parameter sweeps: the workhorse behind every figure reproduction."""
+"""Parameter sweeps: the workhorse behind every figure reproduction.
+
+All sweep helpers route through :func:`repro.sim.parallel.run_reports`,
+so they share one execution story: ``workers=1`` (default) preserves
+the exact serial behaviour, ``workers=N`` fans points out over a
+process pool with byte-identical rows, ``cache=`` reuses on-disk
+results across invocations, and ``progress=`` reports per-point status
+on long sweeps.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .config import SimConfig
-from .simulator import SimResult, run_simulation
+from .parallel import CacheSpec, ProgressCallback, Report, run_reports
+from .simulator import SimResult
 
 Row = Dict[str, object]
 
@@ -20,11 +29,28 @@ DEFAULT_FIELDS = (
 )
 
 
-def result_row(result: SimResult, fields: Sequence[str] = DEFAULT_FIELDS) -> Row:
+def report_row(report: Report, fields: Sequence[str] = DEFAULT_FIELDS) -> Row:
+    """Project the requested fields out of one run's report dict.
+
+    Unknown field names raise ``KeyError`` instead of silently mapping
+    to 0 — a typo in a bench's ``fields=`` list used to fabricate a
+    flat-zero curve that looked like a (wrong) result.
+    """
     row: Row = {}
     for key in fields:
-        row[key] = result.report.get(key, 0)
+        try:
+            row[key] = report[key]
+        except KeyError:
+            raise KeyError(
+                f"field {key!r} is not in the simulation report; "
+                f"available fields: {sorted(report)}"
+            ) from None
     return row
+
+
+def result_row(result: SimResult, fields: Sequence[str] = DEFAULT_FIELDS) -> Row:
+    """:func:`report_row` over a :class:`SimResult`'s report."""
+    return report_row(result.report, fields)
 
 
 def load_sweep(
@@ -32,15 +58,22 @@ def load_sweep(
     loads: Iterable[float],
     fields: Sequence[str] = DEFAULT_FIELDS,
     label: Optional[str] = None,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[Row]:
     """Run ``base`` across offered loads; one row per load point."""
+    load_list = list(loads)
+    reports = run_reports(
+        [base.with_(load=load) for load in load_list],
+        workers=workers, cache=cache, progress=progress,
+    )
     rows: List[Row] = []
-    for load in loads:
-        result = run_simulation(base.with_(load=load))
+    for load, report in zip(load_list, reports):
         row: Row = {"load": load}
         if label is not None:
             row["config"] = label
-        row.update(result_row(result, fields))
+        row.update(report_row(report, fields))
         rows.append(row)
     return rows
 
@@ -50,13 +83,20 @@ def param_sweep(
     param: str,
     values: Iterable[Any],
     fields: Sequence[str] = DEFAULT_FIELDS,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[Row]:
     """Run ``base`` with ``param`` set to each value; one row each."""
+    value_list = list(values)
+    reports = run_reports(
+        [base.with_(**{param: value}) for value in value_list],
+        workers=workers, cache=cache, progress=progress,
+    )
     rows: List[Row] = []
-    for value in values:
-        result = run_simulation(base.with_(**{param: value}))
+    for value, report in zip(value_list, reports):
         row: Row = {param: value}
-        row.update(result_row(result, fields))
+        row.update(report_row(report, fields))
         rows.append(row)
     return rows
 
@@ -65,17 +105,35 @@ def matrix_sweep(
     configs: Dict[str, SimConfig],
     loads: Iterable[float],
     fields: Sequence[str] = DEFAULT_FIELDS,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[Row]:
     """Several labelled configurations across the same load axis.
 
     This is the shape of the paper's comparison figures: one curve per
     configuration (CR vs DOR at various buffer depths, VC counts, ...),
-    sharing the offered-load x-axis.
+    sharing the offered-load x-axis.  The whole label x load matrix is
+    submitted as one batch, so a process pool stays busy across curve
+    boundaries instead of draining at the end of each curve.
     """
-    rows: List[Row] = []
     load_list = list(loads)
-    for label, config in configs.items():
-        rows.extend(load_sweep(config, load_list, fields, label=label))
+    labels = list(configs)
+    reports = run_reports(
+        [
+            configs[label].with_(load=load)
+            for label in labels
+            for load in load_list
+        ],
+        workers=workers, cache=cache, progress=progress,
+    )
+    rows: List[Row] = []
+    report_iter = iter(reports)
+    for label in labels:
+        for load in load_list:
+            row: Row = {"load": load, "config": label}
+            row.update(report_row(next(report_iter), fields))
+            rows.append(row)
     return rows
 
 
@@ -83,24 +141,63 @@ def saturation_load(
     base: SimConfig,
     loads: Iterable[float],
     latency_limit_factor: float = 5.0,
+    baseline: Optional[float] = None,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
 ) -> float:
     """Estimate the saturation point of a configuration.
 
     Returns the highest swept load whose mean latency stays under
-    ``latency_limit_factor`` times the lowest-load latency (a standard
-    operational definition of the saturation knee).
+    ``latency_limit_factor`` times the baseline latency (a standard
+    operational definition of the saturation knee).  The baseline is
+    the lowest-load latency unless an external ``baseline`` (e.g. an
+    analytical zero-load latency) is supplied.
+
+    Returns ``0.0`` when the configuration is saturated below the sweep
+    floor: the lowest swept point delivers nothing (zero-delivery points
+    have no finite latency) or already exceeds the latency limit against
+    an external baseline.  A later zero-delivery point is treated as
+    past the knee, same as a latency blow-up.
+
+    With ``workers > 1`` the whole load ladder is evaluated
+    speculatively in parallel; points above the knee are wasted work,
+    but the wall clock is one point, not the ladder.  ``workers=1``
+    keeps the serial early-exit behaviour.
     """
     load_list = sorted(loads)
-    baseline: Optional[float] = None
+    if not load_list:
+        raise ValueError("need at least one load")
+
+    speculative = workers is None or workers > 1
+    if speculative:
+        reports = run_reports(
+            [base.with_(load=load) for load in load_list],
+            workers=workers, cache=cache,
+        )
+        latencies = [float(report["latency_mean"]) for report in reports]
+
+        def latency_at(index: int) -> float:
+            return latencies[index]
+
+    else:
+
+        def latency_at(index: int) -> float:
+            report = run_reports(
+                [base.with_(load=load_list[index])],
+                workers=1, cache=cache,
+            )[0]
+            return float(report["latency_mean"])
+
+    first = latency_at(0)
+    if first <= 0:
+        return 0.0  # nothing delivered at the sweep floor
+    limit = latency_limit_factor * (baseline if baseline is not None else first)
+    if first > limit:
+        return 0.0  # sweep floor already past the knee (external baseline)
     saturated_at = load_list[0]
-    for load in load_list:
-        result = run_simulation(base.with_(load=load))
-        latency = result.latency
-        if latency <= 0:
+    for index in range(1, len(load_list)):
+        latency = latency_at(index)
+        if latency <= 0 or latency > limit:
             break
-        if baseline is None:
-            baseline = latency
-        if latency > latency_limit_factor * baseline:
-            break
-        saturated_at = load
+        saturated_at = load_list[index]
     return saturated_at

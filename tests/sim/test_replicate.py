@@ -36,6 +36,33 @@ class TestReplicate:
         with pytest.raises(ValueError):
             replicate(tiny(), seeds=[])
 
+    def test_sample_variance_denominator(self, monkeypatch):
+        # Canned samples 1, 2, 3: sample variance is 1.0 (n-1 = 2
+        # denominator), not 2/3 (population).  The population estimate
+        # made the confidence half-width systematically overconfident
+        # at small n.
+        import math
+
+        import repro.sim.replicate as rep_mod
+
+        monkeypatch.setattr(
+            rep_mod, "run_reports",
+            lambda configs, workers=1, cache=None, progress=None: [
+                {"latency_mean": v} for v in (1.0, 2.0, 3.0)
+            ],
+        )
+        summary = replicate(tiny(), seeds=[1, 2, 3],
+                            metrics=["latency_mean"])["latency_mean"]
+        assert summary["std"] == pytest.approx(1.0)
+        expected_half = 1.96 * 1.0 / math.sqrt(3)
+        assert summary["rel_halfwidth"] == \
+            pytest.approx(expected_half / 2.0)
+
+    def test_parallel_matches_serial(self):
+        serial = replicate(tiny(), seeds=[1, 2, 3], workers=1)
+        fanned = replicate(tiny(), seeds=[1, 2, 3], workers=3)
+        assert serial == fanned
+
 
 class TestComparison:
     def test_clear_gap_detected(self):

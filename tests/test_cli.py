@@ -57,9 +57,40 @@ class TestRunCommand:
         assert "fcr on 4-ary 2-torus" in out
 
 
+class TestSweepCommand:
+    ARGS = [
+        "sweep", "--routing", "dor", "--radix", "4",
+        "--loads", "0.1,0.15", "--warmup", "50", "--measure", "200",
+        "--drain", "1500", "--message-length", "8",
+    ]
+
+    def test_parallel_no_cache_smoke(self, capsys):
+        code = cli_main(self.ARGS + ["--workers", "2", "--no-cache"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "dor load sweep" in captured.out
+        assert "[2/2]" in captured.err  # per-point progress on stderr
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert cli_main(self.ARGS + ["--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr()
+        assert cli_main(self.ARGS + ["--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr()
+        assert "2 hit(s)" in second.err
+        # cached rows render the same table
+        assert second.out == first.out
+
+
 class TestExperimentCommand:
     def test_cheap_experiment_quick_scale(self, capsys):
         assert cli_main(["experiment", "t01"]) == 0
         out = capsys.readouterr().out
         assert "interface" in out
         assert "fcr" in out
+
+    def test_workers_override_accepted(self, capsys):
+        assert cli_main(
+            ["experiment", "t01", "--workers", "2", "--no-cache"]
+        ) == 0
+        assert "interface" in capsys.readouterr().out
