@@ -1,0 +1,52 @@
+"""Benchmark: campaign orchestration overhead and resume speed.
+
+Runs a small fault-matrix-shaped campaign through the orchestrator,
+then resumes it, asserting the resume pass is pure bookkeeping (no
+simulation).  The overhead of spec expansion + SQLite journaling should
+be negligible next to the simulations themselves.
+"""
+
+from repro.campaign import CampaignSpec, CampaignStore, run_campaign
+
+
+def campaign_spec(scale):
+    return CampaignSpec.from_dict({
+        "name": "bench-fault-matrix",
+        "description": "benchmark grid: fcr fault rates x loads",
+        "base": {
+            "radix": scale.radix,
+            "dims": scale.dims,
+            "warmup": scale.warmup,
+            "measure": scale.measure,
+            "drain": scale.drain * 2,
+            "message_length": scale.message_length,
+            "routing": "fcr",
+        },
+        "axes": {
+            "fault_rate": [0.0, 1e-3],
+            "load": list(scale.loads)[:2],
+        },
+        "seed": scale.seed,
+    })
+
+
+def test_campaign_run_and_resume(benchmark, scale, tmp_path):
+    spec = campaign_spec(scale)
+    db = str(tmp_path / "campaigns.sqlite")
+
+    def run():
+        with CampaignStore(db) as store:
+            return run_campaign(spec, store)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats.complete and stats.ran == spec.size
+
+    # resume is pure bookkeeping: every point skips, nothing simulates
+    with CampaignStore(db) as store:
+        again = run_campaign(spec, store)
+    assert again.complete
+    assert (again.ran, again.skipped) == (0, spec.size)
+    print(
+        f"\ncampaign: {stats.ran} points, {stats.wall_time:.1f}s "
+        f"simulated; resume skipped {again.skipped} points"
+    )

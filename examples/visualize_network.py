@@ -8,7 +8,7 @@ CR's shows the same traffic smeared across the fabric -- the visual
 version of the channel-imbalance statistic.
 
 Run:  python examples/visualize_network.py
-Then open cr_heat.svg / dor_heat.svg in any browser.
+Then open results/cr_heat.svg / results/dor_heat.svg in any browser.
 """
 
 from repro import SimConfig, channel_load_stats, render_network_svg
@@ -38,7 +38,13 @@ def run_and_render(routing: str, path: str) -> dict:
 
 
 def main() -> None:
-    for routing, path in (("cr", "cr_heat.svg"), ("dor", "dor_heat.svg")):
+    import os
+
+    os.makedirs("results", exist_ok=True)
+    for routing, path in (
+        ("cr", os.path.join("results", "cr_heat.svg")),
+        ("dor", os.path.join("results", "dor_heat.svg")),
+    ):
         stats = run_and_render(routing, path)
         print(
             f"{routing}: wrote {path}  "

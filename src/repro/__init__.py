@@ -66,12 +66,28 @@ from .sim.config import SCHEMES, SimConfig
 from .sim.simulator import SimResult, run_simulation
 from .sim.export import read_csv, rows_to_csv
 from .sim.parallel import (
+    PointFailure,
     PointStatus,
     SweepCache,
     config_cache_key,
     run_reports,
 )
-from .sim.replicate import replicate, significantly_better
+from .sim.replicate import (
+    intervals_separated,
+    replicate,
+    significantly_better,
+    summarize_samples,
+)
+from .campaign import (
+    CampaignPoint,
+    CampaignRunStats,
+    CampaignSpec,
+    CampaignStore,
+    compare_campaigns,
+    get_campaign,
+    render_markdown,
+    run_campaign,
+)
 from .sim.sweep import (
     load_sweep,
     matrix_sweep,
@@ -139,9 +155,21 @@ __all__ = [
     "run_reports",
     "SweepCache",
     "PointStatus",
+    "PointFailure",
     "config_cache_key",
     "replicate",
     "significantly_better",
+    "summarize_samples",
+    "intervals_separated",
+    # campaign orchestration
+    "CampaignSpec",
+    "CampaignPoint",
+    "CampaignStore",
+    "CampaignRunStats",
+    "run_campaign",
+    "compare_campaigns",
+    "render_markdown",
+    "get_campaign",
     "rows_to_csv",
     "read_csv",
     "SCHEMES",

@@ -1,0 +1,62 @@
+"""Campaign orchestration: declarative scenario grids at scale.
+
+The layer between one-off sweeps and paper-scale evaluation:
+
+* :mod:`~repro.campaign.spec` — :class:`CampaignSpec`, a declarative,
+  dict/JSON round-trippable grid of scenarios with replications and
+  derived seeds.
+* :mod:`~repro.campaign.store` — :class:`CampaignStore`, a SQLite
+  results store recording every point with full provenance (config
+  hash, library version, schema version, wall time, timestamp).
+* :mod:`~repro.campaign.runner` — :func:`run_campaign`, crash-safe and
+  resumable execution on top of :mod:`repro.sim.parallel`.
+* :mod:`~repro.campaign.report` — cross-campaign regression reports
+  (markdown/CSV) using the replication significance machinery.
+* :mod:`~repro.campaign.library` — built-in campaigns
+  (``fault-matrix``, ``paper-core``).
+
+Quick start::
+
+    from repro.campaign import CampaignStore, get_campaign, run_campaign
+
+    spec = get_campaign("fault-matrix")
+    with CampaignStore("results/campaigns.sqlite") as store:
+        stats = run_campaign(spec, store, workers=None)
+        print(stats.ran, "run,", stats.skipped, "resumed")
+"""
+
+from .library import BUILTIN_CAMPAIGNS, campaign_names, get_campaign
+from .report import (
+    aggregate_scenarios,
+    campaign_markdown,
+    compare_campaigns,
+    comparison_to_csv,
+    render_markdown,
+)
+from .runner import (
+    CampaignPointStatus,
+    CampaignRunStats,
+    run_campaign,
+)
+from .spec import CampaignPoint, CampaignSpec, Grid
+from .store import DEFAULT_DB_PATH, STORE_SCHEMA_VERSION, CampaignStore
+
+__all__ = [
+    "CampaignSpec",
+    "Grid",
+    "CampaignPoint",
+    "CampaignStore",
+    "DEFAULT_DB_PATH",
+    "STORE_SCHEMA_VERSION",
+    "run_campaign",
+    "CampaignRunStats",
+    "CampaignPointStatus",
+    "compare_campaigns",
+    "render_markdown",
+    "comparison_to_csv",
+    "campaign_markdown",
+    "aggregate_scenarios",
+    "BUILTIN_CAMPAIGNS",
+    "campaign_names",
+    "get_campaign",
+]

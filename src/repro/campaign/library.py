@@ -1,0 +1,117 @@
+"""Built-in campaign library.
+
+Each entry is a factory taking a :class:`~repro.experiments.common.Scale`
+(QUICK by default, PAPER for paper-sized networks and sweeps) and
+returning a :class:`~repro.campaign.spec.CampaignSpec`.  The scale
+supplies the network size, run phases and load axis, so the same
+campaign definition serves both the minutes-long smoke grid and the
+paper-scale reproduction.
+
+* ``fault-matrix`` — the FCR fault grid behind E07/E08: transient fault
+  rate x permanent link faults x offered load.
+* ``paper-core`` — the headline figures: E01 (CR vs DOR, equal
+  resources), E03/Fig. 11 (static gaps vs exponential backoff), and
+  E04/Fig. 14(a,b) (CR shallow buffers vs DOR deep FIFOs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..experiments.common import QUICK, Scale
+from .spec import CampaignSpec
+
+SpecFactory = Callable[[Scale], CampaignSpec]
+
+
+def _scale_base(scale: Scale) -> Dict[str, object]:
+    return {
+        "radix": scale.radix,
+        "dims": scale.dims,
+        "warmup": scale.warmup,
+        "measure": scale.measure,
+        "drain": scale.drain,
+        "message_length": scale.message_length,
+    }
+
+
+def _fault_matrix(scale: Scale) -> CampaignSpec:
+    base = _scale_base(scale)
+    # Faulty runs need longer drains: kills and retries stretch the tail.
+    base["drain"] = scale.drain * 2
+    base["routing"] = "fcr"
+    return CampaignSpec.from_dict({
+        "name": "fault-matrix",
+        "description": (
+            "FCR graceful degradation: transient fault rate x permanent "
+            "link faults x offered load (E07/E08 as one grid)"
+        ),
+        "base": base,
+        "axes": {
+            "fault_rate": [0.0, 1e-4, 1e-3, 5e-3],
+            "permanent_faults": [0, 2],
+            "load": list(scale.loads),
+        },
+        "seed": scale.seed,
+        "metrics": [
+            "latency_mean", "latency_p99", "throughput", "kill_rate",
+            "undelivered", "corrupt_deliveries",
+        ],
+    })
+
+
+def _paper_core(scale: Scale) -> CampaignSpec:
+    base = _scale_base(scale)
+    loads = list(scale.loads)
+    return CampaignSpec.from_dict({
+        "name": "paper-core",
+        "description": (
+            "Headline figures: E01 CR-vs-DOR equal resources, "
+            "E03/Fig.11 backoff policies, E04/Fig.14ab buffer depth"
+        ),
+        "grids": {
+            "e01": {
+                "base": {**base, "num_vcs": 2, "buffer_depth": 2},
+                "axes": {"routing": ["cr", "dor"], "load": loads},
+            },
+            "e03": {
+                "base": {**base, "routing": "cr", "timeout": "fixed:32"},
+                "axes": {
+                    "backoff": ["static:4", "static:16", "static:64",
+                                "exponential"],
+                    "load": loads,
+                },
+            },
+            "e04": {
+                "base": {**base, "num_vcs": 2},
+                "axes": {
+                    "routing": ["cr", "dor"],
+                    "buffer_depth": [2, 16],
+                    "load": loads,
+                },
+            },
+        },
+        "seed": scale.seed,
+    })
+
+
+BUILTIN_CAMPAIGNS: Dict[str, SpecFactory] = {
+    "fault-matrix": _fault_matrix,
+    "paper-core": _paper_core,
+}
+
+
+def campaign_names() -> List[str]:
+    """Names of the built-in campaigns."""
+    return sorted(BUILTIN_CAMPAIGNS)
+
+
+def get_campaign(name: str, scale: Optional[Scale] = None) -> CampaignSpec:
+    """Build the named built-in campaign at the given scale."""
+    try:
+        factory = BUILTIN_CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; built-ins: {campaign_names()}"
+        ) from None
+    return factory(scale or QUICK)

@@ -1,0 +1,163 @@
+"""Campaign execution: resumable, crash-safe, failure-tolerant.
+
+The runner sits on top of :func:`repro.sim.parallel.run_reports` and
+adds the campaign-level concerns:
+
+* **Resume** — points already stored ``ok`` with a matching config hash
+  are skipped, so a killed-and-restarted run picks up exactly where it
+  stopped (a changed spec or library version re-runs the stale points).
+* **Crash safety** — every point is journaled to the
+  :class:`~repro.campaign.store.CampaignStore` via the executor's
+  ``on_result`` hook the moment it lands, in its own SQLite
+  transaction; an interrupt between points loses only in-flight work.
+* **Failure tolerance** — a point whose simulation raises is retried
+  with bounded backoff (``retries`` attempts, sleeping
+  ``backoff * 2**attempt`` capped at ``backoff_cap``); a point that
+  keeps failing is recorded as ``failed`` and the campaign moves on
+  instead of aborting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..sim.parallel import CacheSpec, PointFailure, run_reports
+from .spec import CampaignPoint, CampaignSpec
+from .store import CampaignStore
+
+
+@dataclass(frozen=True)
+class CampaignPointStatus:
+    """Progress record delivered once per campaign point."""
+
+    point_id: str
+    outcome: str  #: 'ok' | 'failed' | 'skipped'
+    elapsed: float
+    done: int  #: points settled so far (including skips)
+    total: int  #: points in the campaign
+    attempt: int  #: 1-based attempt number that produced the outcome
+
+
+CampaignProgress = Callable[[CampaignPointStatus], None]
+
+
+@dataclass
+class CampaignRunStats:
+    """What one ``run_campaign`` invocation did."""
+
+    total: int = 0  #: points in the expanded spec
+    skipped: int = 0  #: already stored ok with matching provenance
+    ran: int = 0  #: simulated successfully this invocation
+    failed: int = 0  #: exhausted retries; recorded as failures
+    retried: int = 0  #: extra attempts spent on flaky points
+    wall_time: float = 0.0  #: simulation seconds (not wall clock)
+    failures: List[str] = field(default_factory=list)  #: failed point ids
+
+    @property
+    def complete(self) -> bool:
+        return self.skipped + self.ran == self.total
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: CampaignStore,
+    workers: Optional[int] = 1,
+    cache: CacheSpec = None,
+    retries: int = 2,
+    backoff: float = 0.25,
+    backoff_cap: float = 5.0,
+    progress: Optional[CampaignProgress] = None,
+) -> CampaignRunStats:
+    """Execute (or resume) a campaign; every outcome lands in ``store``.
+
+    Returns run statistics; raises only on programmer error or
+    interrupt — simulation failures are journaled, retried up to
+    ``retries`` extra attempts, then recorded as ``failed`` rows.
+    """
+    store.register(spec)
+    points = list(spec.points())
+    stats = CampaignRunStats(total=len(points))
+    done_hashes = store.completed(spec.name)
+
+    from ..sim.parallel import config_cache_key
+
+    pending: List[CampaignPoint] = []
+    settled = [0]
+    for point in points:
+        if (
+            point.point_id in done_hashes
+            and done_hashes[point.point_id] == config_cache_key(point.config)
+        ):
+            stats.skipped += 1
+            settled[0] += 1
+            if progress is not None:
+                progress(CampaignPointStatus(
+                    point.point_id, "skipped", 0.0, settled[0],
+                    stats.total, 0,
+                ))
+            continue
+        pending.append(point)
+
+    attempt = 1
+    while pending:
+        failed_now: List[CampaignPoint] = []
+
+        def journal(index: int, report: object, elapsed: float,
+                    cached: bool) -> None:
+            point = pending[index]
+            if isinstance(report, PointFailure):
+                failed_now.append(point)
+                # Journal the failure immediately; a later successful
+                # retry overwrites the row (INSERT OR REPLACE).
+                store.record_failure(
+                    spec.name, point, report.error, elapsed,
+                    attempts=attempt,
+                )
+                outcome = "failed"
+            else:
+                store.record_success(
+                    spec.name, point, _project(report, spec.metrics),
+                    elapsed, attempts=attempt,
+                )
+                stats.ran += 1
+                settled[0] += 1
+                stats.wall_time += elapsed
+                outcome = "ok"
+            if progress is not None:
+                progress(CampaignPointStatus(
+                    point.point_id, outcome, elapsed, settled[0],
+                    stats.total, attempt,
+                ))
+
+        run_reports(
+            [point.config for point in pending],
+            workers=workers,
+            cache=cache,
+            on_result=journal,
+            failures="return",
+        )
+
+        if not failed_now:
+            break
+        if attempt > retries:
+            stats.failed = len(failed_now)
+            stats.failures = [point.point_id for point in failed_now]
+            break
+        stats.retried += len(failed_now)
+        time.sleep(min(backoff * (2 ** (attempt - 1)), backoff_cap))
+        pending = failed_now
+        attempt += 1
+
+    return stats
+
+
+def _project(report: object, metrics: tuple) -> dict:
+    """Keep the spec's metrics (plus any counters they imply) from a report.
+
+    Metrics missing from a report are dropped rather than fabricated —
+    a stored row never contains values the simulation didn't produce.
+    """
+    assert isinstance(report, dict)
+    return {key: report[key] for key in metrics if key in report}

@@ -1,0 +1,288 @@
+"""SQLite-backed campaign results store with full provenance.
+
+Every completed point is recorded the moment it lands (one transaction
+per point, so a crash loses at most the in-flight simulations) together
+with everything needed to trust it later: the
+:func:`~repro.sim.parallel.config_cache_key` hash of the exact
+:class:`~repro.sim.config.SimConfig` that ran, ``repro.__version__``,
+the store schema version, wall time and a timestamp.  Failures are
+recorded too (status ``failed`` with the error text), so a campaign
+report can show holes instead of silently dropping scenarios.
+
+Resume semantics live in :meth:`CampaignStore.completed`: a point is
+*done* only if its stored status is ``ok`` **and** its stored config
+hash matches the hash of the config the current spec would run — edit
+the spec (or upgrade the simulator version embedded in the hash entry)
+and the stale points re-run instead of being trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim.parallel import config_cache_key
+from .spec import CampaignPoint, CampaignSpec
+
+#: bump when the results table layout changes incompatibly.
+STORE_SCHEMA_VERSION = 1
+
+#: default database location, next to the exported figure CSVs.
+DEFAULT_DB_PATH = os.path.join("results", "campaigns.sqlite")
+
+_TABLES = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    name        TEXT PRIMARY KEY,
+    description TEXT NOT NULL DEFAULT '',
+    spec        TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    updated_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    campaign       TEXT NOT NULL,
+    point_id       TEXT NOT NULL,
+    status         TEXT NOT NULL,      -- 'ok' | 'failed'
+    grid           TEXT NOT NULL DEFAULT '',
+    scenario       TEXT NOT NULL,      -- JSON axis values
+    replication    INTEGER NOT NULL,
+    seed           INTEGER NOT NULL,
+    config_hash    TEXT,               -- NULL for uncacheable configs
+    repro_version  TEXT NOT NULL,
+    schema_version INTEGER NOT NULL,
+    report         TEXT,               -- JSON metrics (status 'ok')
+    error          TEXT,               -- repr of the failure ('failed')
+    attempts       INTEGER NOT NULL DEFAULT 1,
+    wall_time      REAL NOT NULL DEFAULT 0.0,
+    created_at     REAL NOT NULL,
+    PRIMARY KEY (campaign, point_id)
+);
+"""
+
+
+def _library_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+class CampaignStore:
+    """One SQLite file holding every campaign's results and specs.
+
+    Usable as a context manager; writes are one transaction per point.
+    """
+
+    def __init__(self, path: str = DEFAULT_DB_PATH) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_TABLES)
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- campaigns ------------------------------------------------------
+
+    def register(self, spec: CampaignSpec) -> None:
+        """Record (or refresh) a campaign's spec for provenance."""
+        now = time.time()
+        with self._conn:
+            self._conn.execute(
+                """
+                INSERT INTO campaigns (name, description, spec,
+                                       created_at, updated_at)
+                VALUES (?, ?, ?, ?, ?)
+                ON CONFLICT(name) DO UPDATE SET
+                    description = excluded.description,
+                    spec = excluded.spec,
+                    updated_at = excluded.updated_at
+                """,
+                (spec.name, spec.description,
+                 json.dumps(spec.to_dict(), sort_keys=True), now, now),
+            )
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        """Stored campaigns with point counts, oldest first."""
+        rows = self._conn.execute(
+            """
+            SELECT c.name, c.description, c.created_at, c.updated_at,
+                   SUM(CASE WHEN r.status = 'ok' THEN 1 ELSE 0 END) AS ok,
+                   SUM(CASE WHEN r.status = 'failed' THEN 1 ELSE 0 END)
+                       AS failed
+            FROM campaigns c LEFT JOIN results r ON r.campaign = c.name
+            GROUP BY c.name ORDER BY c.created_at
+            """
+        ).fetchall()
+        return [dict(row, ok=row["ok"] or 0, failed=row["failed"] or 0)
+                for row in rows]
+
+    def spec(self, campaign: str) -> Optional[CampaignSpec]:
+        """The stored spec for a campaign, parsed back, or None."""
+        row = self._conn.execute(
+            "SELECT spec FROM campaigns WHERE name = ?", (campaign,)
+        ).fetchone()
+        if row is None:
+            return None
+        return CampaignSpec.from_dict(json.loads(row["spec"]))
+
+    def delete_campaign(self, campaign: str) -> int:
+        """Drop a campaign and its results; returns rows removed."""
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE campaign = ?", (campaign,)
+            )
+            self._conn.execute(
+                "DELETE FROM campaigns WHERE name = ?", (campaign,)
+            )
+        return cursor.rowcount
+
+    # -- per-point writes ----------------------------------------------
+
+    def _write(self, campaign: str, point: CampaignPoint, status: str,
+               report: Optional[Dict[str, object]], error: Optional[str],
+               wall_time: float, attempts: int) -> None:
+        with self._conn:
+            self._conn.execute(
+                """
+                INSERT OR REPLACE INTO results
+                    (campaign, point_id, status, grid, scenario,
+                     replication, seed, config_hash, repro_version,
+                     schema_version, report, error, attempts, wall_time,
+                     created_at)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    campaign, point.point_id, status, point.grid,
+                    json.dumps(point.scenario, sort_keys=True),
+                    point.replication, point.config.seed,
+                    config_cache_key(point.config), _library_version(),
+                    STORE_SCHEMA_VERSION,
+                    json.dumps(report) if report is not None else None,
+                    error, attempts, wall_time, time.time(),
+                ),
+            )
+
+    def record_success(self, campaign: str, point: CampaignPoint,
+                       report: Dict[str, object], wall_time: float,
+                       attempts: int = 1) -> None:
+        """Journal one completed point (durable before the call returns)."""
+        self._write(campaign, point, "ok", report, None, wall_time,
+                    attempts)
+
+    def record_failure(self, campaign: str, point: CampaignPoint,
+                       error: str, wall_time: float,
+                       attempts: int = 1) -> None:
+        """Journal a point whose simulation kept raising."""
+        self._write(campaign, point, "failed", None, error, wall_time,
+                    attempts)
+
+    # -- queries --------------------------------------------------------
+
+    def completed(self, campaign: str) -> Dict[str, Optional[str]]:
+        """point_id -> stored config hash for every 'ok' point."""
+        rows = self._conn.execute(
+            "SELECT point_id, config_hash FROM results "
+            "WHERE campaign = ? AND status = 'ok'",
+            (campaign,),
+        ).fetchall()
+        return {row["point_id"]: row["config_hash"] for row in rows}
+
+    def is_done(self, campaign: str, point: CampaignPoint) -> bool:
+        """True when ``point`` is stored 'ok' with a matching config hash."""
+        done = self.completed(campaign)
+        if point.point_id not in done:
+            return False
+        return done[point.point_id] == config_cache_key(point.config)
+
+    def rows(self, campaign: str,
+             status: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Stored points as flat dicts: provenance + scenario + metrics.
+
+        Scenario axis values appear as top-level keys, metric values
+        under their report names; provenance fields keep their column
+        names (``config_hash``, ``repro_version``, ...).
+        """
+        query = "SELECT * FROM results WHERE campaign = ?"
+        params: Tuple[Any, ...] = (campaign,)
+        if status is not None:
+            query += " AND status = ?"
+            params += (status,)
+        query += " ORDER BY point_id"
+        out = []
+        for row in self._conn.execute(query, params).fetchall():
+            flat: Dict[str, Any] = {
+                "campaign": row["campaign"],
+                "point_id": row["point_id"],
+                "status": row["status"],
+                "grid": row["grid"],
+                "replication": row["replication"],
+                "seed": row["seed"],
+                "config_hash": row["config_hash"],
+                "repro_version": row["repro_version"],
+                "schema_version": row["schema_version"],
+                "attempts": row["attempts"],
+                "wall_time": row["wall_time"],
+                "created_at": row["created_at"],
+                "error": row["error"],
+            }
+            flat.update(json.loads(row["scenario"]))
+            if row["report"]:
+                flat.update(json.loads(row["report"]))
+            out.append(flat)
+        return out
+
+    def points(self, campaign: str,
+               status: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Stored points with ``scenario`` and ``report`` kept nested.
+
+        The structured sibling of :meth:`rows` — report code that must
+        tell axis values apart from metric values uses this.
+        """
+        query = "SELECT * FROM results WHERE campaign = ?"
+        params: Tuple[Any, ...] = (campaign,)
+        if status is not None:
+            query += " AND status = ?"
+            params += (status,)
+        query += " ORDER BY point_id"
+        out = []
+        for row in self._conn.execute(query, params).fetchall():
+            entry = dict(row)
+            entry["scenario"] = json.loads(row["scenario"])
+            entry["report"] = (json.loads(row["report"])
+                               if row["report"] else None)
+            out.append(entry)
+        return out
+
+    def summary(self, campaign: str) -> Dict[str, Any]:
+        """Counts and totals for one campaign's stored points."""
+        row = self._conn.execute(
+            """
+            SELECT
+                SUM(CASE WHEN status = 'ok' THEN 1 ELSE 0 END) AS ok,
+                SUM(CASE WHEN status = 'failed' THEN 1 ELSE 0 END)
+                    AS failed,
+                SUM(wall_time) AS wall_time,
+                COUNT(DISTINCT repro_version) AS versions
+            FROM results WHERE campaign = ?
+            """,
+            (campaign,),
+        ).fetchone()
+        return {
+            "campaign": campaign,
+            "ok": row["ok"] or 0,
+            "failed": row["failed"] or 0,
+            "wall_time": row["wall_time"] or 0.0,
+            "versions": row["versions"] or 0,
+        }

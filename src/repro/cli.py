@@ -6,6 +6,8 @@ Examples::
     cr-sim experiment e01
     cr-sim experiment e07 --scale paper
     cr-sim list
+    cr-sim campaign run fault-matrix --workers 0
+    cr-sim campaign report fault-matrix fault-matrix-v2
 """
 
 from __future__ import annotations
@@ -126,6 +128,75 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("list", help="list available experiments")
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="orchestrate whole evaluation campaigns (resumable grids)",
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+
+    def add_db(p: argparse.ArgumentParser) -> None:
+        from .campaign import DEFAULT_DB_PATH
+
+        p.add_argument(
+            "--db", default=DEFAULT_DB_PATH,
+            help="campaign results database (default: %(default)s)",
+        )
+
+    crun_p = camp_sub.add_parser(
+        "run", help="run (or resume) a campaign; completed points skip"
+    )
+    crun_p.add_argument(
+        "name",
+        help="built-in campaign name or path to a JSON spec file",
+    )
+    add_db(crun_p)
+    crun_p.add_argument(
+        "--scale", default="quick", choices=["quick", "paper"],
+        help="network/run sizing for built-in campaigns",
+    )
+    crun_p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width (0 = one per CPU; default 1 = serial)",
+    )
+    crun_p.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failing point before recording failure",
+    )
+    crun_p.add_argument(
+        "--sweep-cache", action="store_true",
+        help="also reuse the on-disk sweep result cache for points",
+    )
+
+    cstat_p = camp_sub.add_parser(
+        "status", help="stored campaigns, or one campaign in detail"
+    )
+    cstat_p.add_argument("name", nargs="?", default=None)
+    add_db(cstat_p)
+
+    crep_p = camp_sub.add_parser(
+        "report", help="markdown regression report: baseline vs candidate"
+    )
+    crep_p.add_argument("baseline", help="baseline campaign name")
+    crep_p.add_argument("candidate", help="candidate campaign name")
+    add_db(crep_p)
+    crep_p.add_argument(
+        "--metrics", default="latency_mean,throughput",
+        help="comma-separated report metrics (default: %(default)s)",
+    )
+    crep_p.add_argument(
+        "--md", default=None, help="also write the markdown to this path"
+    )
+    crep_p.add_argument(
+        "--csv", default=None, help="also write comparison rows as CSV"
+    )
+
+    clist_p = camp_sub.add_parser(
+        "list", help="built-in campaigns and their grid sizes"
+    )
+    clist_p.add_argument(
+        "--scale", default="quick", choices=["quick", "paper"]
+    )
     return parser
 
 
@@ -307,6 +378,156 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_campaign_spec(name: str, scale_name: str):
+    """A built-in campaign by name, or a JSON spec file by path."""
+    import json
+    import os
+
+    from .campaign import BUILTIN_CAMPAIGNS, CampaignSpec, get_campaign
+    from .experiments import PAPER, QUICK
+
+    if name in BUILTIN_CAMPAIGNS:
+        return get_campaign(
+            name, PAPER if scale_name == "paper" else QUICK
+        )
+    if os.path.exists(name):
+        with open(name, "r", encoding="utf-8") as handle:
+            return CampaignSpec.from_dict(json.load(handle))
+    raise SystemExit(
+        f"cr-sim campaign: {name!r} is neither a built-in campaign "
+        f"({sorted(BUILTIN_CAMPAIGNS)}) nor a spec file"
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import CampaignPointStatus, CampaignStore, run_campaign
+
+    spec = _resolve_campaign_spec(args.name, args.scale)
+
+    def report(status: CampaignPointStatus) -> None:
+        if status.outcome == "skipped":
+            detail = "already stored"
+        elif status.outcome == "failed":
+            detail = f"FAILED attempt {status.attempt}"
+        else:
+            detail = f"{status.elapsed:.1f}s"
+        print(
+            f"  [{status.done}/{status.total}] {status.point_id} "
+            f"({detail})",
+            file=sys.stderr,
+        )
+
+    with CampaignStore(args.db) as store:
+        stats = run_campaign(
+            spec,
+            store,
+            workers=args.workers if args.workers > 0 else None,
+            cache=True if args.sweep_cache else None,
+            retries=args.retries,
+            progress=report,
+        )
+    print(
+        f"campaign {spec.name!r}: {stats.ran} point(s) run, "
+        f"{stats.skipped} resumed, {stats.failed} failed "
+        f"({stats.retried} retries), {stats.wall_time:.1f}s simulated "
+        f"-> {args.db}"
+    )
+    for point_id in stats.failures:
+        print(f"  failed: {point_id}", file=sys.stderr)
+    return 0 if stats.complete else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import CampaignStore, campaign_markdown
+
+    with CampaignStore(args.db) as store:
+        if args.name is None:
+            rows = [
+                {
+                    "campaign": c["name"],
+                    "ok": c["ok"],
+                    "failed": c["failed"],
+                    "description": c["description"],
+                }
+                for c in store.campaigns()
+            ]
+            print(format_table(
+                rows, ["campaign", "ok", "failed", "description"],
+                title=f"stored campaigns in {args.db}",
+            ))
+        else:
+            print(campaign_markdown(store, args.name))
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .campaign import (
+        CampaignStore,
+        compare_campaigns,
+        comparison_to_csv,
+        render_markdown,
+    )
+
+    metrics = [m for m in args.metrics.split(",") if m.strip()]
+    with CampaignStore(args.db) as store:
+        known = {c["name"] for c in store.campaigns()}
+        for name in (args.baseline, args.candidate):
+            if name not in known:
+                raise SystemExit(
+                    f"cr-sim campaign report: no stored campaign "
+                    f"{name!r} in {args.db} (have: {sorted(known)})"
+                )
+        rows = compare_campaigns(
+            store, args.baseline, args.candidate, metrics
+        )
+    text = render_markdown(rows, args.baseline, args.candidate)
+    print(text)
+    if args.md:
+        with open(args.md, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"\nwrote markdown to {args.md}", file=sys.stderr)
+    if args.csv:
+        count = comparison_to_csv(rows, args.csv)
+        print(f"wrote {count} comparison rows to {args.csv}",
+              file=sys.stderr)
+    return 0
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    from .campaign import campaign_names, get_campaign
+    from .experiments import PAPER, QUICK
+
+    scale = PAPER if args.scale == "paper" else QUICK
+    rows = []
+    for name in campaign_names():
+        spec = get_campaign(name, scale)
+        rows.append({
+            "campaign": name,
+            "points": spec.size,
+            "grids": len(spec.grids),
+            "description": spec.description,
+        })
+    print(format_table(
+        rows, ["campaign", "points", "grids", "description"],
+        title=f"built-in campaigns ({scale.name} scale)",
+    ))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "run":
+        return _cmd_campaign_run(args)
+    if args.campaign_command == "status":
+        return _cmd_campaign_status(args)
+    if args.campaign_command == "report":
+        return _cmd_campaign_report(args)
+    if args.campaign_command == "list":
+        return _cmd_campaign_list(args)
+    raise AssertionError(
+        f"unhandled campaign command {args.campaign_command}"
+    )
+
+
 def _cmd_list() -> int:
     rows = [
         {
@@ -332,6 +553,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

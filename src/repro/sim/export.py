@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import os
 from typing import Dict, List, Optional, Sequence
 
 
@@ -13,9 +14,14 @@ def rows_to_csv(
 ) -> int:
     """Write sweep rows to ``path``; returns the number of data rows.
 
+    Parent directories are created as needed, so sweeps can target
+    fresh result trees (``results/<campaign>/rows.csv``) directly.
     Columns default to the union of keys across rows, in first-seen
     order, so heterogeneous sweeps stay loadable.
     """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     if columns is None:
         seen: Dict[str, None] = {}
         for row in rows:

@@ -20,6 +20,13 @@ and replication helpers go through:
   is stale, so upgrading the simulator silently invalidates old rows.
 * ``progress=`` receives a :class:`PointStatus` as each point lands, so
   long sweeps can report live status.
+* ``on_result=`` is the journal hook campaign runners build on: it
+  receives ``(index, report, elapsed, cached)`` the moment each point's
+  result exists (completion order under a pool, not submission order),
+  so a crash between points loses at most the in-flight work.
+* ``failures="return"`` turns a point that raises into a
+  :class:`PointFailure` entry instead of aborting the whole batch —
+  the campaign runner records and retries failures individually.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ import json
 import os
 import re
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -39,6 +46,8 @@ from .simulator import run_simulation
 
 Report = Dict[str, object]
 ProgressCallback = Callable[["PointStatus"], None]
+#: journal hook: (index, report-or-PointFailure, elapsed, cached)
+ResultCallback = Callable[[int, object, float, bool], None]
 
 #: bump when the report schema or run semantics change in a way that
 #: makes previously cached rows incomparable.
@@ -61,6 +70,18 @@ class PointStatus:
     total: int  #: number of points in the sweep
     elapsed: float  #: seconds the simulation took (0.0 on a cache hit)
     cached: bool  #: True when the row came from the result cache
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """Stand-in result for a point whose simulation raised.
+
+    Only produced under ``failures="return"``; callers distinguish a
+    failed point from a report with ``isinstance``.
+    """
+
+    error: str  #: ``repr()`` of the exception the point raised
+    elapsed: float  #: seconds spent before the failure
 
 
 def _canonical(value: object) -> Optional[str]:
@@ -217,6 +238,8 @@ def run_reports(
     workers: Optional[int] = 1,
     cache: CacheSpec = None,
     progress: Optional[ProgressCallback] = None,
+    on_result: Optional[ResultCallback] = None,
+    failures: str = "raise",
 ) -> List[Report]:
     """Run one simulation per config; reports in submission order.
 
@@ -224,11 +247,34 @@ def run_reports(
     ``workers=N`` uses a process pool of N; ``workers=None`` uses one
     worker per CPU.  Rows are reassembled in submission order, so the
     result is independent of worker count.
+
+    ``on_result`` is called with ``(index, report, elapsed, cached)`` as
+    each point's result becomes available — in completion order under a
+    pool — so callers can journal results durably before the batch
+    finishes.  With ``failures="return"``, a point whose simulation
+    raises contributes a :class:`PointFailure` (delivered to
+    ``on_result`` and placed in the returned list) instead of aborting
+    the remaining points; the default ``failures="raise"`` re-raises.
     """
+    if failures not in ("raise", "return"):
+        raise ValueError(
+            f"failures must be 'raise' or 'return', not {failures!r}"
+        )
     config_list = list(configs)
     total = len(config_list)
     store = resolve_cache(cache)
     reports: List[Optional[Report]] = [None] * total
+
+    def landed(index: int, report: object, elapsed: float,
+               cached: bool) -> None:
+        reports[index] = report  # type: ignore[assignment]
+        failed = isinstance(report, PointFailure)
+        if store is not None and not cached and not failed:
+            store.put(keys[index], report)  # type: ignore[arg-type]
+        if on_result is not None:
+            on_result(index, report, elapsed, cached)
+        if progress is not None:
+            progress(PointStatus(index, total, elapsed, cached))
 
     pending: List[int] = []
     keys: List[Optional[str]] = [None] * total
@@ -237,9 +283,7 @@ def run_reports(
             keys[index] = config_cache_key(config)
             hit = store.get(keys[index])
             if hit is not None:
-                reports[index] = hit
-                if progress is not None:
-                    progress(PointStatus(index, total, 0.0, True))
+                landed(index, hit, 0.0, True)
                 continue
         pending.append(index)
 
@@ -247,24 +291,37 @@ def run_reports(
         workers = os.cpu_count() or 1
     if workers <= 1 or len(pending) <= 1:
         for index in pending:
-            report, elapsed = _run_point(config_list[index])
-            reports[index] = report
-            if store is not None:
-                store.put(keys[index], report)
-            if progress is not None:
-                progress(PointStatus(index, total, elapsed, False))
+            start = time.perf_counter()
+            try:
+                report, elapsed = _run_point(config_list[index])
+            except Exception as exc:
+                if failures == "raise":
+                    raise
+                report = PointFailure(  # type: ignore[assignment]
+                    repr(exc), time.perf_counter() - start
+                )
+                elapsed = report.elapsed  # type: ignore[union-attr]
+            landed(index, report, elapsed, False)
     else:
         pool_size = min(workers, len(pending))
         with ProcessPoolExecutor(max_workers=pool_size) as pool:
-            futures = [
-                (index, pool.submit(_run_point, config_list[index]))
+            waiting = {
+                pool.submit(_run_point, config_list[index]): index
                 for index in pending
-            ]
-            for index, future in futures:
-                report, elapsed = future.result()
-                reports[index] = report
-                if store is not None:
-                    store.put(keys[index], report)
-                if progress is not None:
-                    progress(PointStatus(index, total, elapsed, False))
+            }
+            start = time.perf_counter()
+            while waiting:
+                done, _ = wait(set(waiting), return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = waiting.pop(future)
+                    try:
+                        report, elapsed = future.result()
+                    except Exception as exc:
+                        if failures == "raise":
+                            raise
+                        report = PointFailure(
+                            repr(exc), time.perf_counter() - start
+                        )
+                        elapsed = report.elapsed
+                    landed(index, report, elapsed, False)
     return reports  # type: ignore[return-value]

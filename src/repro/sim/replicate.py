@@ -24,6 +24,58 @@ from .parallel import CacheSpec, ProgressCallback, run_reports
 DEFAULT_METRICS = ("latency_mean", "throughput", "kill_rate")
 
 
+def summarize_samples(values: Sequence[float]) -> Dict[str, float]:
+    """Summary statistics over independent samples of one metric.
+
+    Returns ``{mean, std, min, max, rel_halfwidth, n}`` where ``std``
+    is the sample standard deviation (``n - 1`` denominator; 0.0 when
+    ``n == 1``) and ``rel_halfwidth`` approximates a 95% confidence
+    half-width relative to the mean (1.96 * std / sqrt(n) / mean).
+    This is the summary :func:`replicate` produces per metric; the
+    campaign report machinery applies it to stored rows.
+    """
+    count = len(values)
+    if count == 0:
+        raise ValueError("need at least one sample")
+    mean = sum(values) / count
+    # Sample (n-1) variance: the population (n) denominator made the
+    # normal half-width below systematically overconfident at small n.
+    if count > 1:
+        var = sum((v - mean) ** 2 for v in values) / (count - 1)
+    else:
+        var = 0.0
+    std = math.sqrt(var)
+    halfwidth = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
+    return {
+        "mean": mean,
+        "std": std,
+        "min": min(values),
+        "max": max(values),
+        "rel_halfwidth": halfwidth / mean if mean else 0.0,
+        "n": count,
+    }
+
+
+def intervals_separated(
+    summary_a: Dict[str, float],
+    summary_b: Dict[str, float],
+    higher_is_better: bool = True,
+) -> bool:
+    """True when A beats B with non-overlapping mean +/- halfwidth.
+
+    The comparison rule behind :func:`significantly_better`, usable
+    directly on :func:`summarize_samples` outputs (e.g. from stored
+    campaign rows).  Conservative by construction -- overlapping
+    intervals return False even when a formal test might find a
+    difference.
+    """
+    half_a = summary_a["rel_halfwidth"] * summary_a["mean"]
+    half_b = summary_b["rel_halfwidth"] * summary_b["mean"]
+    if higher_is_better:
+        return summary_a["mean"] - half_a > summary_b["mean"] + half_b
+    return summary_a["mean"] + half_a < summary_b["mean"] - half_b
+
+
 def replicate(
     config: SimConfig,
     seeds: Iterable[int],
@@ -52,26 +104,10 @@ def replicate(
         metric: [float(report.get(metric, 0.0)) for report in reports]
         for metric in metrics
     }
-    out: Dict[str, Dict[str, float]] = {}
-    for metric, values in samples.items():
-        mean = sum(values) / count
-        # Sample (n-1) variance: the population (n) denominator made the
-        # normal half-width below systematically overconfident at small n.
-        if count > 1:
-            var = sum((v - mean) ** 2 for v in values) / (count - 1)
-        else:
-            var = 0.0
-        std = math.sqrt(var)
-        halfwidth = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
-        out[metric] = {
-            "mean": mean,
-            "std": std,
-            "min": min(values),
-            "max": max(values),
-            "rel_halfwidth": halfwidth / mean if mean else 0.0,
-            "n": count,
-        }
-    return out
+    return {
+        metric: summarize_samples(values)
+        for metric, values in samples.items()
+    }
 
 
 def significantly_better(
@@ -93,8 +129,4 @@ def significantly_better(
                           workers=workers, cache=cache)[metric]
     summary_b = replicate(b, seed_list, metrics=[metric],
                           workers=workers, cache=cache)[metric]
-    half_a = summary_a["rel_halfwidth"] * summary_a["mean"]
-    half_b = summary_b["rel_halfwidth"] * summary_b["mean"]
-    if higher_is_better:
-        return summary_a["mean"] - half_a > summary_b["mean"] + half_b
-    return summary_a["mean"] + half_a < summary_b["mean"] - half_b
+    return intervals_separated(summary_a, summary_b, higher_is_better)

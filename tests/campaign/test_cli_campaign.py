@@ -1,0 +1,160 @@
+"""The ``cr-sim campaign`` CLI: run/resume/status/report/list."""
+
+import json
+
+import pytest
+
+import repro.campaign
+import repro.experiments
+from repro.cli import main as cli_main
+from repro.experiments.common import Scale
+from repro.sim import parallel
+
+#: a scale small enough that the whole fault-matrix runs in seconds
+TINY = Scale(name="tiny", radix=4, warmup=50, measure=150, drain=1000,
+             message_length=8, loads=(0.1,))
+
+
+@pytest.fixture
+def tiny_builtin_scale(monkeypatch):
+    monkeypatch.setattr(repro.experiments, "QUICK", TINY)
+    return TINY
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "campaigns.sqlite")
+
+
+def spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps({
+        "name": "from-file",
+        "base": {"radix": 4, "warmup": 50, "measure": 150,
+                 "drain": 1000, "message_length": 8},
+        "axes": {"routing": ["cr", "dor"], "load": [0.1]},
+    }))
+    return str(path)
+
+
+class TestList:
+    def test_lists_builtins_with_sizes(self, capsys):
+        assert cli_main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fault-matrix" in out
+        assert "paper-core" in out
+        assert "description" in out
+
+
+class TestRun:
+    def test_spec_file_run_and_resume(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        assert cli_main(["campaign", "run", path, "--db", db]) == 0
+        first = capsys.readouterr()
+        assert "2 point(s) run, 0 resumed" in first.out
+        assert cli_main(["campaign", "run", path, "--db", db]) == 0
+        second = capsys.readouterr()
+        assert "0 point(s) run, 2 resumed" in second.out
+        assert "already stored" in second.err
+
+    def test_unknown_name_rejected(self, db):
+        with pytest.raises(SystemExit, match="neither a built-in"):
+            cli_main(["campaign", "run", "banana", "--db", db])
+
+    def test_killed_and_restarted_fault_matrix_resumes(
+        self, tiny_builtin_scale, db, monkeypatch, capsys
+    ):
+        """The acceptance scenario: interrupt mid-campaign, restart,
+        verify completed points are not re-simulated."""
+        real_run_campaign = repro.campaign.run_campaign
+        interrupt_at = 3
+
+        def interrupted(spec, store, progress=None, **kwargs):
+            def tripwire(status):
+                if progress is not None:
+                    progress(status)
+                if status.done >= interrupt_at:
+                    raise KeyboardInterrupt
+
+            return real_run_campaign(
+                spec, store, progress=tripwire, **kwargs
+            )
+
+        interrupt_patch = pytest.MonkeyPatch()
+        interrupt_patch.setattr(
+            repro.campaign, "run_campaign", interrupted
+        )
+        try:
+            with pytest.raises(KeyboardInterrupt):
+                cli_main(["campaign", "run", "fault-matrix", "--db", db])
+        finally:
+            interrupt_patch.undo()
+
+        # restart: the interrupted points resume, nothing re-runs
+        simulated = []
+        real_point = parallel._run_point
+
+        def counting(config):
+            simulated.append(config)
+            return real_point(config)
+
+        monkeypatch.setattr(parallel, "_run_point", counting)
+        capsys.readouterr()
+        assert cli_main(["campaign", "run", "fault-matrix", "--db", db]) \
+            == 0
+        out = capsys.readouterr().out
+        from repro.campaign import get_campaign
+
+        total = get_campaign("fault-matrix", TINY).size
+        assert f"{interrupt_at} resumed" in out
+        assert len(simulated) == total - interrupt_at
+
+
+class TestStatusAndReport:
+    def test_status_lists_and_details(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        cli_main(["campaign", "run", path, "--db", db])
+        capsys.readouterr()
+        assert cli_main(["campaign", "status", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "from-file" in out
+        assert cli_main(["campaign", "status", "from-file", "--db", db]) \
+            == 0
+        detail = capsys.readouterr().out
+        assert "# Campaign `from-file`" in detail
+        assert "provenance" in detail
+
+    def test_report_between_two_campaigns(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        cli_main(["campaign", "run", path, "--db", db])
+        other = tmp_path / "other.json"
+        body = json.loads((tmp_path / "spec.json").read_text())
+        body["name"] = "from-file-2"
+        body["base"]["buffer_depth"] = 4
+        other.write_text(json.dumps(body))
+        cli_main(["campaign", "run", str(other), "--db", db])
+        capsys.readouterr()
+
+        md = tmp_path / "report.md"
+        csv = tmp_path / "report.csv"
+        code = cli_main([
+            "campaign", "report", "from-file", "from-file-2",
+            "--db", db, "--md", str(md), "--csv", str(csv),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign comparison: from-file vs from-file-2" in out
+        assert "provenance" in out
+        assert md.exists() and csv.exists()
+        from repro.sim.export import read_csv
+
+        rows = read_csv(str(csv))
+        assert rows and "baseline_hashes" in rows[0]
+
+    def test_report_unknown_campaign_rejected(self, db):
+        from repro.campaign import CampaignStore
+
+        with CampaignStore(db):
+            pass
+        with pytest.raises(SystemExit, match="no stored campaign"):
+            cli_main(["campaign", "report", "a", "b", "--db", db])

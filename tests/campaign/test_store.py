@@ -1,0 +1,138 @@
+"""CampaignStore: provenance recording, resume queries, reopening."""
+
+import sqlite3
+
+import pytest
+
+from repro import __version__
+from repro.campaign import CampaignSpec, CampaignStore
+from repro.campaign.store import STORE_SCHEMA_VERSION
+
+
+@pytest.fixture
+def spec():
+    return CampaignSpec.from_dict({
+        "name": "s",
+        "base": {"radix": 4, "warmup": 50, "measure": 200,
+                 "message_length": 8},
+        "axes": {"routing": ["cr", "dor"], "load": [0.1]},
+        "replications": 2,
+    })
+
+
+@pytest.fixture
+def store(tmp_path):
+    with CampaignStore(str(tmp_path / "c.sqlite")) as s:
+        yield s
+
+
+class TestSpecRegistry:
+    def test_register_and_read_back(self, store, spec):
+        store.register(spec)
+        assert store.spec("s") == spec
+        assert store.spec("missing") is None
+
+    def test_campaign_listing_counts(self, store, spec):
+        store.register(spec)
+        points = list(spec.points())
+        store.record_success("s", points[0], {"latency_mean": 1.0}, 0.1)
+        store.record_failure("s", points[1], "boom", 0.1)
+        (entry,) = store.campaigns()
+        assert (entry["name"], entry["ok"], entry["failed"]) == ("s", 1, 1)
+
+    def test_delete_campaign(self, store, spec):
+        store.register(spec)
+        store.record_success(
+            "s", next(iter(spec.points())), {"latency_mean": 1.0}, 0.1
+        )
+        assert store.delete_campaign("s") == 1
+        assert store.campaigns() == []
+
+
+class TestProvenance:
+    def test_success_row_carries_provenance(self, store, spec):
+        point = next(iter(spec.points()))
+        store.record_success("s", point, {"latency_mean": 2.5}, 0.25,
+                             attempts=3)
+        (row,) = store.rows("s")
+        assert row["status"] == "ok"
+        assert row["repro_version"] == __version__
+        assert row["schema_version"] == STORE_SCHEMA_VERSION
+        assert row["config_hash"] and len(row["config_hash"]) == 64
+        assert row["attempts"] == 3
+        assert row["wall_time"] == 0.25
+        assert row["created_at"] > 0
+        # scenario axes and metrics are flattened into the row
+        assert row["routing"] == "cr"
+        assert row["load"] == 0.1
+        assert row["latency_mean"] == 2.5
+
+    def test_failure_row(self, store, spec):
+        point = next(iter(spec.points()))
+        store.record_failure("s", point, "ValueError('x')", 0.1)
+        (row,) = store.rows("s", status="failed")
+        assert row["error"] == "ValueError('x')"
+        assert store.rows("s", status="ok") == []
+
+    def test_points_keep_structure(self, store, spec):
+        point = next(iter(spec.points()))
+        store.record_success("s", point, {"latency_mean": 2.5}, 0.1)
+        (entry,) = store.points("s")
+        assert entry["scenario"] == {"routing": "cr", "load": 0.1}
+        assert entry["report"] == {"latency_mean": 2.5}
+
+
+class TestResumeQueries:
+    def test_completed_and_is_done(self, store, spec):
+        points = list(spec.points())
+        store.record_success("s", points[0], {"latency_mean": 1.0}, 0.1)
+        store.record_failure("s", points[1], "boom", 0.1)
+        done = store.completed("s")
+        assert list(done) == [points[0].point_id]
+        assert store.is_done("s", points[0])
+        assert not store.is_done("s", points[1])
+
+    def test_changed_config_invalidates_done(self, store, spec):
+        point = next(iter(spec.points()))
+        store.record_success("s", point, {"latency_mean": 1.0}, 0.1)
+        changed = point.__class__(
+            point_id=point.point_id,
+            grid=point.grid,
+            scenario=point.scenario,
+            replication=point.replication,
+            config=point.config.with_(buffer_depth=9),
+        )
+        assert not store.is_done("s", changed)
+
+    def test_rewrite_replaces_row(self, store, spec):
+        point = next(iter(spec.points()))
+        store.record_failure("s", point, "boom", 0.1, attempts=1)
+        store.record_success("s", point, {"latency_mean": 1.0}, 0.2,
+                             attempts=2)
+        (row,) = store.rows("s")
+        assert row["status"] == "ok" and row["attempts"] == 2
+
+
+class TestDurability:
+    def test_survives_reopen(self, tmp_path, spec):
+        path = str(tmp_path / "c.sqlite")
+        with CampaignStore(path) as store:
+            store.register(spec)
+            store.record_success(
+                "s", next(iter(spec.points())), {"latency_mean": 1.0}, 0.1
+            )
+        with CampaignStore(path) as store:
+            assert store.summary("s")["ok"] == 1
+            assert store.spec("s") == spec
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "c.sqlite")
+        with CampaignStore(path):
+            pass
+        assert sqlite3.connect(path).execute(
+            "SELECT COUNT(*) FROM campaigns"
+        ).fetchone()[0] == 0
+
+    def test_summary_empty_campaign(self, store):
+        summary = store.summary("ghost")
+        assert summary["ok"] == 0 and summary["failed"] == 0

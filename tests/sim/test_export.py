@@ -31,6 +31,44 @@ class TestCsv:
         back = read_csv(str(path))
         assert set(back[0]) == {"a"}
 
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "new" / "nested" / "out.csv"
+        assert rows_to_csv([{"a": 1}], str(path)) == 1
+        assert read_csv(str(path)) == [{"a": "1"}]
+
+    def test_bare_filename_needs_no_directory(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert rows_to_csv([{"a": 1}], "bare.csv") == 1
+        assert (tmp_path / "bare.csv").exists()
+
+    def test_heterogeneous_rows_round_trip(self, tmp_path):
+        rows = [
+            {"load": 0.1, "latency": 12.0},
+            {"load": 0.2, "latency": 15.0, "kills": 3},
+            {"load": 0.3},
+        ]
+        path = tmp_path / "hetero.csv"
+        assert rows_to_csv(rows, str(path)) == 3
+        back = read_csv(str(path))
+        # union of columns in first-seen order
+        assert list(back[0]) == ["load", "latency", "kills"]
+        assert back[1]["kills"] == "3"
+
+    def test_missing_columns_get_restval(self, tmp_path):
+        rows = [{"a": 1}, {"b": 2}]
+        path = tmp_path / "restval.csv"
+        rows_to_csv(rows, str(path))
+        back = read_csv(str(path))
+        # absent cells are written as the empty-string restval
+        assert back[0]["b"] == "" and back[1]["a"] == ""
+
+    def test_explicit_columns_missing_everywhere(self, tmp_path):
+        rows = [{"a": 1}]
+        path = tmp_path / "missing.csv"
+        rows_to_csv(rows, str(path), columns=["a", "ghost"])
+        back = read_csv(str(path))
+        assert back[0]["ghost"] == ""
+
 
 class TestCliSweep:
     def test_sweep_prints_and_writes(self, tmp_path, capsys):

@@ -3,7 +3,12 @@
 import pytest
 
 from repro import SimConfig
-from repro.sim.replicate import replicate, significantly_better
+from repro.sim.replicate import (
+    intervals_separated,
+    replicate,
+    significantly_better,
+    summarize_samples,
+)
 
 
 def tiny(**overrides):
@@ -13,6 +18,40 @@ def tiny(**overrides):
     )
     base.update(overrides)
     return SimConfig(**base)
+
+
+class TestSummarizeSamples:
+    """The shared aggregation behind replicate and campaign reports."""
+
+    def test_matches_replicate_contract(self):
+        summary = summarize_samples([1.0, 2.0, 3.0])
+        assert summary["mean"] == 2.0
+        assert summary["std"] == pytest.approx(1.0)  # n-1 denominator
+        assert summary["n"] == 3
+        assert (summary["min"], summary["max"]) == (1.0, 3.0)
+
+    def test_single_sample(self):
+        summary = summarize_samples([5.0])
+        assert summary["std"] == 0.0
+        assert summary["rel_halfwidth"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])
+
+
+class TestIntervalsSeparated:
+    def test_separated_means_win(self):
+        a = summarize_samples([10.0, 10.1, 9.9])
+        b = summarize_samples([5.0, 5.1, 4.9])
+        assert intervals_separated(a, b, higher_is_better=True)
+        assert not intervals_separated(b, a, higher_is_better=True)
+        assert intervals_separated(b, a, higher_is_better=False)
+
+    def test_overlap_is_conservative(self):
+        a = summarize_samples([10.0, 20.0, 30.0])
+        b = summarize_samples([12.0, 22.0, 32.0])
+        assert not intervals_separated(b, a, higher_is_better=True)
 
 
 class TestReplicate:

@@ -27,6 +27,16 @@ class TestListCommand:
         for exp_id in REGISTRY:
             assert exp_id in out
 
+    def test_every_experiment_shows_its_description(self, capsys):
+        """Users discover scenarios from the list itself: every entry
+        carries the one-line description from its module docstring."""
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id, module in REGISTRY.items():
+            first_line = (module.__doc__ or "").strip().splitlines()[0]
+            assert first_line, f"{exp_id} has no module docstring"
+            assert first_line in out
+
 
 class TestRunCommand:
     def test_mesh_topology(self, capsys):
