@@ -1,0 +1,102 @@
+"""Observability overhead: the untraced hot path must stay free.
+
+Every emission site in the engine/injector/kill-manager/receiver is
+guarded by ``if engine.bus is not None``, so a run with no sinks
+attached pays one attribute load and an ``is None`` test per potential
+emission.  This benchmark bounds that cost on an e01-style run (CR,
+8-ary 2-torus, moderate load, ``CYCLES`` cycles):
+
+1. a traced run captures the *actual* event stream the run emits;
+2. the plain run (``bus is None`` -- what every sweep, campaign, and
+   benchmark in this repo executes) is timed min-of-N;
+3. the full instrumentation work for that event volume -- constructing
+   every captured event and fanning it out through a zero-sink
+   :class:`~repro.obs.events.EventBus` -- is timed in isolation.
+
+The isolated cost must stay under ``OVERHEAD_BUDGET`` of the plain
+run's wall time.  The armed-but-sinkless run does exactly this much
+extra work, and the no-sink run strictly less (guard checks only), so
+the < 3% acceptance bound on the untraced path follows a fortiori.
+The two end-to-end runs are *not* compared directly: their difference
+sits at the machine's noise floor, which is the point of the guard
+discipline.
+"""
+
+import dataclasses
+import time
+
+from repro import SimConfig
+from repro.obs import attach
+from repro.obs.events import EventBus
+from repro.obs.sinks import ListSink
+
+CYCLES = 800
+PLAIN_ROUNDS = 3
+EMIT_ROUNDS = 5
+#: maximum tolerated instrumentation cost relative to the plain run.
+OVERHEAD_BUDGET = 0.03
+
+
+def _config():
+    return SimConfig(
+        radix=8, dims=2, routing="cr", load=0.3, message_length=16,
+        warmup=0, measure=CYCLES, seed=99,
+    )
+
+
+def _traced_event_stream():
+    engine = _config().build()
+    sink = ListSink()
+    attach(engine, sink)
+    engine.run(CYCLES)
+    return sink.events, engine
+
+
+def _timed_plain_run():
+    engine = _config().build()
+    assert engine.bus is None  # the default: untraced
+    start = time.perf_counter()
+    engine.run(CYCLES)
+    return time.perf_counter() - start, engine
+
+
+def test_no_sink_overhead_under_budget(benchmark):
+    events, traced_engine = _traced_event_stream()
+    assert len(events) > 1000, "reference run emitted too few events"
+    assert (traced_engine.stats.counters["messages_delivered"]
+            == sum(1 for e in events
+                   if type(e).__name__ == "MessageDelivered"))
+
+    plain_times = []
+    delivered = 0
+    for _ in range(PLAIN_ROUNDS):
+        elapsed, engine = _timed_plain_run()
+        plain_times.append(elapsed)
+        delivered = engine.stats.counters["messages_delivered"]
+    assert delivered > 100  # the run actually simulated traffic
+
+    # Replay the exact event mix: same types, same field values, same
+    # volume -- everything an armed-but-sinkless run does on top of the
+    # plain run, measured without the simulation noise around it.
+    pairs = [(type(event), dataclasses.asdict(event))
+             for event in events]
+    bus = EventBus()
+    emit_times = []
+    for _ in range(EMIT_ROUNDS):
+        start = time.perf_counter()
+        for cls, kwargs in pairs:
+            bus.emit(cls(**kwargs))
+        emit_times.append(time.perf_counter() - start)
+
+    # Report the plain path in the benchmark table.
+    benchmark.pedantic(_timed_plain_run, rounds=1, iterations=1)
+
+    plain, emit = min(plain_times), min(emit_times)
+    overhead = emit / plain
+    print(f"\nobs overhead: plain run {plain * 1000:.1f}ms, "
+          f"construct+emit {len(pairs)} events {emit * 1000:.2f}ms "
+          f"({overhead * 100:.2f}%)")
+    assert overhead < OVERHEAD_BUDGET, (
+        f"instrumentation cost {overhead:.1%} of run wall time exceeds "
+        f"the {OVERHEAD_BUDGET:.0%} budget for the no-sink path"
+    )

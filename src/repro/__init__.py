@@ -106,7 +106,22 @@ from .analysis.latency_model import (
     pcs_latency,
     plain_latency,
 )
-from .stats.svg import render_network_svg
+from .obs import (
+    DeadlockReport,
+    EventBus,
+    IntervalSampler,
+    JsonlSink,
+    ListSink,
+    RingBufferSink,
+    TracedRun,
+    attach,
+    config_for_experiment,
+    detach,
+    read_jsonl,
+    run_traced,
+    write_chrome_trace,
+)
+from .stats.svg import render_network_svg, render_sparkline_rows
 from .stats.trace import (
     buffer_occupancy,
     channel_heatmap,
@@ -139,7 +154,7 @@ from .traffic.patterns import (
     make_pattern,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # simulation entry points
@@ -265,6 +280,21 @@ __all__ = [
     "channel_heatmap",
     "channel_load_stats",
     "render_network_svg",
+    "render_sparkline_rows",
+    # observability (see repro.obs for the full surface)
+    "EventBus",
+    "RingBufferSink",
+    "ListSink",
+    "JsonlSink",
+    "IntervalSampler",
+    "DeadlockReport",
+    "TracedRun",
+    "attach",
+    "detach",
+    "run_traced",
+    "config_for_experiment",
+    "read_jsonl",
+    "write_chrome_trace",
     # analytical models
     "plain_latency",
     "cr_latency",

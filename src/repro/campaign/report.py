@@ -206,6 +206,33 @@ def comparison_to_csv(rows: List[Dict[str, Any]], path: str) -> int:
     return rows_to_csv([row for row in rows if row.get("metric")], path)
 
 
+def saturation_onset(
+    series: List[Dict[str, Any]],
+    metric: str = "latency_mean",
+    factor: float = 2.0,
+) -> Optional[int]:
+    """The cycle at which a run's ``metric`` left its baseline regime.
+
+    The baseline is the smallest positive interval value (the unloaded
+    steady state); saturation onset is the end cycle of the first
+    interval at or above ``factor`` times it.  Returns None when the
+    run never saturated or the metric never went positive (e.g. every
+    latency sample landed outside the measurement window).
+    """
+    values = [
+        (sample["end"], float(sample.get(metric, 0.0)))
+        for sample in series
+    ]
+    positive = [value for _, value in values if value > 0]
+    if not positive:
+        return None
+    baseline = min(positive)
+    for end, value in values:
+        if value >= factor * baseline and value > 0:
+            return end
+    return None
+
+
 def campaign_markdown(store: CampaignStore, campaign: str,
                       metrics: Sequence[str] = DEFAULT_REPORT_METRICS,
                       ) -> str:
@@ -245,5 +272,29 @@ def campaign_markdown(store: CampaignStore, campaign: str,
             lines.append(
                 f"- `{row['point_id']}` (attempts={row['attempts']}): "
                 f"{row['error']}"
+            )
+    series_by_point = store.timeseries(campaign)
+    if series_by_point:
+        lines += [
+            "",
+            "## Time series",
+            "",
+            "Interval-sampled points (runs with `sample_interval` set). "
+            "*Saturation onset* is the first interval where mean latency "
+            "reached 2x its per-run baseline.",
+            "",
+            "| point | samples | peak latency | peak occupancy "
+            "| saturation onset |",
+            "|---|---|---|---|---|",
+        ]
+        for point_id in sorted(series_by_point):
+            series = series_by_point[point_id]
+            peak_latency = max(s["latency_mean"] for s in series)
+            peak_occupancy = max(s["occupancy"] for s in series)
+            onset = saturation_onset(series)
+            lines.append(
+                f"| `{point_id}` | {len(series)} "
+                f"| {_fmt(peak_latency)} | {peak_occupancy} "
+                f"| {f'cycle {onset}' if onset is not None else '—'} |"
             )
     return "\n".join(lines)

@@ -121,6 +121,13 @@ def run_campaign(
                     spec.name, point, _project(report, spec.metrics),
                     elapsed, attempts=attempt,
                 )
+                # Interval samples (configs with sample_interval set)
+                # land in their own table; _project keeps them out of
+                # the flat metrics row.
+                series = (report.get("timeseries")
+                          if isinstance(report, dict) else None)
+                if series:
+                    store.record_timeseries(spec.name, point, series)
                 stats.ran += 1
                 settled[0] += 1
                 stats.wall_time += elapsed

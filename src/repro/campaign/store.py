@@ -28,7 +28,8 @@ from ..sim.parallel import config_cache_key
 from .spec import CampaignPoint, CampaignSpec
 
 #: bump when the results table layout changes incompatibly.
-STORE_SCHEMA_VERSION = 1
+#: v2: added the timeseries table (interval-sampler metrics per point).
+STORE_SCHEMA_VERSION = 2
 
 #: default database location, next to the exported figure CSVs.
 DEFAULT_DB_PATH = os.path.join("results", "campaigns.sqlite")
@@ -58,6 +59,16 @@ CREATE TABLE IF NOT EXISTS results (
     wall_time      REAL NOT NULL DEFAULT 0.0,
     created_at     REAL NOT NULL,
     PRIMARY KEY (campaign, point_id)
+);
+CREATE TABLE IF NOT EXISTS timeseries (
+    campaign       TEXT NOT NULL,
+    point_id       TEXT NOT NULL,
+    seq            INTEGER NOT NULL,   -- sample index within the run
+    cycle_start    INTEGER NOT NULL,
+    cycle_end      INTEGER NOT NULL,
+    metrics        TEXT NOT NULL,      -- JSON interval metrics
+    schema_version INTEGER NOT NULL,
+    PRIMARY KEY (campaign, point_id, seq)
 );
 """
 
@@ -188,6 +199,37 @@ class CampaignStore:
         self._write(campaign, point, "failed", None, error, wall_time,
                     attempts)
 
+    def record_timeseries(self, campaign: str, point: CampaignPoint,
+                          rows: List[Dict[str, Any]]) -> int:
+        """Journal a point's interval samples (one transaction).
+
+        Replaces any previous samples for the point, so a re-run point
+        never mixes old and new series; returns the rows written.
+        """
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM timeseries WHERE campaign = ? "
+                "AND point_id = ?",
+                (campaign, point.point_id),
+            )
+            self._conn.executemany(
+                """
+                INSERT INTO timeseries
+                    (campaign, point_id, seq, cycle_start, cycle_end,
+                     metrics, schema_version)
+                VALUES (?, ?, ?, ?, ?, ?, ?)
+                """,
+                [
+                    (
+                        campaign, point.point_id, sample["index"],
+                        sample["start"], sample["end"],
+                        json.dumps(sample), STORE_SCHEMA_VERSION,
+                    )
+                    for sample in rows
+                ],
+            )
+        return len(rows)
+
     # -- queries --------------------------------------------------------
 
     def completed(self, campaign: str) -> Dict[str, Optional[str]]:
@@ -263,6 +305,24 @@ class CampaignStore:
             entry["report"] = (json.loads(row["report"])
                                if row["report"] else None)
             out.append(entry)
+        return out
+
+    def timeseries(self, campaign: str,
+                   point_id: Optional[str] = None
+                   ) -> Dict[str, List[Dict[str, Any]]]:
+        """point_id -> interval samples (time order) for a campaign."""
+        query = ("SELECT point_id, metrics FROM timeseries "
+                 "WHERE campaign = ?")
+        params: Tuple[Any, ...] = (campaign,)
+        if point_id is not None:
+            query += " AND point_id = ?"
+            params += (point_id,)
+        query += " ORDER BY point_id, seq"
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for row in self._conn.execute(query, params).fetchall():
+            out.setdefault(row["point_id"], []).append(
+                json.loads(row["metrics"])
+            )
         return out
 
     def summary(self, campaign: str) -> Dict[str, Any]:

@@ -113,7 +113,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     trace_p = sub.add_parser(
         "trace",
-        help="run a short simulation and show where the traffic went",
+        help="run a traced simulation: heat maps, event logs, Perfetto",
+    )
+    trace_p.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment preset (e.g. e08, fault-matrix; see "
+             "repro.obs.trace_experiments); runs it with JSONL + "
+             "Perfetto artifacts under results/traces/.  Omit to "
+             "configure the run with the flags below.",
     )
     trace_p.add_argument("--routing", default="cr", choices=sorted(SCHEMES))
     trace_p.add_argument("--radix", type=int, default=8)
@@ -125,6 +132,35 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--seed", type=int, default=42)
     trace_p.add_argument(
         "--svg", default=None, help="write a heat-map SVG to this path"
+    )
+    trace_p.add_argument(
+        "--jsonl", nargs="?", const="auto", default=None, metavar="PATH",
+        help="record every event as JSON lines (default path: "
+             "results/traces/<name>.jsonl)",
+    )
+    trace_p.add_argument(
+        "--perfetto", nargs="?", const="auto", default=None, metavar="PATH",
+        help="write a Chrome trace-event file loadable in "
+             "ui.perfetto.dev (default path: "
+             "results/traces/<name>.perfetto.json)",
+    )
+    trace_p.add_argument(
+        "--events", type=int, default=0, metavar="N",
+        help="print the last N events of the run",
+    )
+    trace_p.add_argument(
+        "--sample-interval", type=int, default=None, metavar="CYCLES",
+        help="collect time-series metrics every CYCLES cycles",
+    )
+    trace_p.add_argument(
+        "--series-csv", default=None, metavar="PATH",
+        help="write the sampled time series as CSV (needs "
+             "--sample-interval)",
+    )
+    trace_p.add_argument(
+        "--series-svg", default=None, metavar="PATH",
+        help="write sparklines of the sampled series (needs "
+             "--sample-interval)",
     )
 
     sub.add_parser("list", help="list available experiments")
@@ -301,7 +337,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_artifact_path(arg: Optional[str], name: str,
+                         suffix: str) -> Optional[str]:
+    """Resolve --jsonl/--perfetto: None, an explicit path, or 'auto'."""
+    import os
+
+    from .obs import DEFAULT_TRACE_DIR
+
+    if arg is None:
+        return None
+    if arg != "auto":
+        return arg
+    return os.path.join(DEFAULT_TRACE_DIR, f"{name}{suffix}")
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import event_to_dict, run_traced
     from .stats.trace import (
         channel_heatmap,
         channel_load_stats,
@@ -309,24 +360,48 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         occupancy_snapshot,
     )
 
-    config = SimConfig(
-        routing=args.routing,
-        radix=args.radix,
-        dims=args.dims,
-        pattern=args.pattern,
-        load=args.load,
-        message_length=args.message_length,
-        warmup=0,
-        measure=args.cycles,
-        drain=0,
-        seed=args.seed,
+    if args.experiment is not None:
+        from .obs import config_for_experiment
+
+        name = args.experiment
+        try:
+            config = config_for_experiment(name, seed=args.seed)
+        except ValueError as exc:
+            print(f"cr-sim trace: {exc}", file=sys.stderr)
+            return 2
+        # A preset run exists to produce artifacts: default both on.
+        if args.jsonl is None:
+            args.jsonl = "auto"
+        if args.perfetto is None:
+            args.perfetto = "auto"
+        title = f"{name} ({config.routing}, load {config.load})"
+    else:
+        name = args.routing
+        config = SimConfig(
+            routing=args.routing,
+            radix=args.radix,
+            dims=args.dims,
+            pattern=args.pattern,
+            load=args.load,
+            message_length=args.message_length,
+            warmup=0,
+            measure=args.cycles,
+            drain=0,
+            seed=args.seed,
+        )
+        title = f"{args.routing} / {args.pattern} / load {args.load}"
+
+    traced = run_traced(
+        config,
+        jsonl_path=_trace_artifact_path(args.jsonl, name, ".jsonl"),
+        perfetto_path=_trace_artifact_path(
+            args.perfetto, name, ".perfetto.json"
+        ),
+        sample_interval=args.sample_interval,
+        keep_engine=True,
     )
-    engine = config.build()
-    engine.run(args.cycles)
-    print(
-        f"{args.routing} on {engine.topology.name}, {args.pattern} "
-        f"traffic, load {args.load}, t={engine.now}\n"
-    )
+    engine = traced.result.engine
+    print(f"{title} on {engine.topology.name}, t={engine.now}\n")
     print("buffer occupancy (flits per router):")
     print(occupancy_snapshot(engine))
     print()
@@ -341,7 +416,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(
         f"\nchannel utilisation {stats['utilisation']:.3f} "
         f"flits/channel/cycle, imbalance (max/mean) "
-        f"{stats['imbalance']:.2f}"
+        f"{stats['imbalance']:.2f} over {stats['live_channels']} live "
+        f"channel(s) ({stats['dead_channels']} dead)"
     )
     slowest = max(
         engine.ledger.deliveries,
@@ -351,13 +427,43 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if slowest is not None:
         print("\nslowest delivered message:")
         print(format_timeline(slowest))
+
+    counts = traced.counts()
+    if counts:
+        print("\nevents: " + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(counts.items())
+        ))
+    if args.events > 0:
+        print(f"\nlast {min(args.events, len(traced.events))} event(s):")
+        for event in traced.events[-args.events:]:
+            fields = event_to_dict(event)
+            kind = fields.pop("event")
+            cycle = fields.pop("cycle")
+            body = ", ".join(f"{k}={v}" for k, v in fields.items())
+            print(f"  t={cycle} {kind} ({body})")
+
+    if traced.samples:
+        if args.series_csv:
+            engine.sampler.to_csv(args.series_csv)
+            print(f"\nwrote {len(traced.samples)} samples to "
+                  f"{args.series_csv}")
+        if args.series_svg:
+            engine.sampler.to_svg(args.series_svg, title=title)
+            print(f"wrote sparklines to {args.series_svg}")
+    elif args.series_csv or args.series_svg:
+        print("\n(no samples collected; pass --sample-interval)",
+              file=sys.stderr)
+
+    if traced.jsonl_path:
+        print(f"\nwrote {len(traced.events)} events to "
+              f"{traced.jsonl_path}")
+    if traced.perfetto_path:
+        print(f"wrote {traced.perfetto_entries} trace entries to "
+              f"{traced.perfetto_path} (load at ui.perfetto.dev)")
     if args.svg:
         from .stats.svg import render_network_svg
 
-        svg = render_network_svg(
-            engine,
-            title=f"{args.routing} / {args.pattern} / load {args.load}",
-        )
+        svg = render_network_svg(engine, title=title)
         with open(args.svg, "w") as handle:
             handle.write(svg)
         print(f"\nwrote heat map to {args.svg}")

@@ -131,6 +131,13 @@ class Injector:
             self.engine.routing.assign_lane(message, self.engine.rng)
         self.node.gate.on_start(message)
         self.engine.stats.on_attempt(message)
+        if self.engine.bus is not None:
+            from ..obs.events import InjectionStarted
+
+            self.engine.bus.emit(InjectionStarted(
+                now, message.uid, message.src, message.dst,
+                message.attempts, wire,
+            ))
         self.engine.injecting.add(message)
         self.engine.in_flight.add(message)
         self.current = message
@@ -174,6 +181,13 @@ class Injector:
                 return  # acknowledgement still in flight
         if not self.channel.can_send(self.vc):
             self.stall += 1
+            if self.stall == 1 and self.engine.bus is not None:
+                # Once per stall streak, not once per stalled cycle.
+                from ..obs.events import InjectionStalled
+
+                self.engine.bus.emit(
+                    InjectionStalled(now, message.uid, message.src)
+                )
             self._check_timeout(message, now)
             return
         flit = self._make_flit(message, self.next_index)
@@ -212,6 +226,12 @@ class Injector:
     def _commit(self, message: "Message", now: int) -> None:
         message.phase = MessagePhase.COMMITTED
         message.committed_at = now
+        if self.engine.bus is not None:
+            from ..obs.events import MessageCommitted
+
+            self.engine.bus.emit(
+                MessageCommitted(now, message.uid, message.src, message.dst)
+            )
         self.node.gate.on_commit(message)
         self.engine.injecting.discard(message)
         self.current = None

@@ -66,9 +66,19 @@ class KillManager:
             message.kills += 1
         engine = self.engine
         engine.stats.on_kill(message, cause.value)
+        message.kill_history.append((now, cause.value))
         gap = engine.protocol.backoff.gap(message, engine.rng)
         message.retransmit_at = now + gap
         plan = list(message.active_segments)
+        if engine.bus is not None:
+            from ..obs.events import KillStarted, Retransmit
+
+            engine.bus.emit(KillStarted(
+                now, message.uid, cause.value, backward, len(plan)
+            ))
+            engine.bus.emit(Retransmit(
+                now, message.uid, message.attempts, gap, now + gap
+            ))
         if backward:
             plan.reverse()
         message.kill_wavefront = plan
@@ -140,6 +150,16 @@ class KillManager:
             engine.nodes[message.src].gate.on_abandon(message)
             engine.live.discard(message.uid)
             engine.stats.counters["messages_failed"] += 1
+            self._emit_completed(message, now, "abandoned")
             return
         message.phase = MessagePhase.QUEUED
         engine.nodes[message.src].queue.appendleft(message)
+        self._emit_completed(message, now, "requeued")
+
+    def _emit_completed(
+        self, message: "Message", now: int, outcome: str
+    ) -> None:
+        if self.engine.bus is not None:
+            from ..obs.events import KillCompleted
+
+            self.engine.bus.emit(KillCompleted(now, message.uid, outcome))

@@ -115,6 +115,14 @@ class Receiver:
         message.delivered_at = now
         self.engine.ledger.on_delivery(message, corrupt)
         self.engine.stats.on_delivery(message, now, corrupt)
+        if self.engine.bus is not None:
+            from ..obs.events import MessageDelivered
+
+            self.engine.bus.emit(MessageDelivered(
+                now, message.uid, message.src, message.dst,
+                message.payload_length, message.total_latency(),
+                message.network_latency(), corrupt,
+            ))
         self.engine.live.discard(message.uid)
         self.engine.in_flight.discard(message)
         if self.engine.reliability is not None:

@@ -22,6 +22,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class FaultModel(abc.ABC):
     """Base class: override what the scenario needs."""
 
+    #: event bus for FaultActivated emissions; None when untraced
+    #: (class attribute so existing subclasses need no __init__ change).
+    bus = None
+
+    def bind_bus(self, bus) -> None:
+        """Point fault emissions at ``bus`` (None to detach)."""
+        self.bus = bus
+
+    def emit(self, event) -> None:
+        """Send ``event`` to the bound bus, if any."""
+        if self.bus is not None:
+            self.bus.emit(event)
+
     def on_cycle(self, now: int, network: "WormholeNetwork") -> None:
         """Hook run at the start of every cycle."""
 
@@ -41,6 +54,11 @@ class CompositeFaultModel(FaultModel):
 
     def __init__(self, models: List[FaultModel]) -> None:
         self.models = list(models)
+
+    def bind_bus(self, bus) -> None:
+        self.bus = bus
+        for model in self.models:
+            model.bind_bus(bus)
 
     def on_cycle(self, now: int, network: "WormholeNetwork") -> None:
         for model in self.models:

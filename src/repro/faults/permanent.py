@@ -47,6 +47,12 @@ class PermanentFaultSchedule(FaultModel):
             fault = self.pending.pop(0)
             network.find_link(fault.src, fault.dst).dead = True
             self.applied.append(fault)
+            if self.bus is not None:
+                from ..obs.events import FaultActivated
+
+                self.bus.emit(FaultActivated(
+                    now, "channel_dead", fault.src, fault.dst
+                ))
 
 
 def random_channel_faults(

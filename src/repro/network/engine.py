@@ -46,7 +46,16 @@ _LIVE_PHASES = (MessagePhase.INJECTING, MessagePhase.COMMITTED)
 
 
 class NetworkDeadlockError(RuntimeError):
-    """The network made no progress for the watchdog interval."""
+    """The network made no progress for the watchdog interval.
+
+    ``report`` carries a :class:`repro.obs.forensics.DeadlockReport`
+    (wait-for graph, occupancy snapshot, stalled injectors, recent
+    events) built at the moment the watchdog fired.
+    """
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class OrderedSet:
@@ -141,6 +150,10 @@ class Engine:
         ]
         self._all_channels = network.all_channels()
         self._pair_seq: Dict[tuple, int] = {}
+        # Observability (repro.obs): both stay None unless attached, so
+        # untraced runs pay one is-None check per potential emit site.
+        self.bus = None
+        self.sampler = None
         # Optional application-layer reliability protocol (the software
         # retry baseline); set via SoftwareReliability.attach().
         self.reliability = None
@@ -167,6 +180,13 @@ class Engine:
             self.stats.on_generation_blocked()
             return False
         self.stats.on_created(message, self.now)
+        if self.bus is not None:
+            from ..obs.events import MessageCreated
+
+            self.bus.emit(MessageCreated(
+                self.now, message.uid, message.src, message.dst,
+                message.payload_length,
+            ))
         self.live.add(message.uid)
         if self.reliability is not None:
             self.reliability.on_admitted(message, self.now)
@@ -249,6 +269,8 @@ class Engine:
         self._path_wide_monitor(now)
         self._drop_at_block_monitor(now)
         self._watchdog_check(now)
+        if self.sampler is not None:
+            self.sampler.on_cycle(now)
         self.now = now + 1
 
     # ------------------------------------------------------------------
@@ -392,6 +414,13 @@ class Engine:
         ):
             flit.corrupted = True
             self.stats.on_fault_injected()
+            if self.bus is not None:
+                from ..obs.events import FaultActivated
+
+                self.bus.emit(FaultActivated(
+                    now, "transient", channel.src_node, channel.dst_node,
+                    uid=message.uid,
+                ))
         channel.send(vc, flit, now)
         if channel.is_ejection:
             self.nodes[router.node_id].receiver.stage(
@@ -481,12 +510,17 @@ class Engine:
             self.last_progress = now
             return
         if now - self.last_progress > self.watchdog:
+            from ..obs.forensics import build_deadlock_report
+
             in_flight = sum(
                 1 for m in self.injecting if m.phase in _LIVE_PHASES
             )
+            report = build_deadlock_report(self, now)
             raise NetworkDeadlockError(
                 f"no progress for {self.watchdog} cycles at t={now}: "
                 f"{len(self.live)} live messages, {in_flight} injecting "
                 f"({self.routing.name} routing, "
-                f"{self.protocol.mode.value} protocol)"
+                f"{self.protocol.mode.value} protocol)\n"
+                + report.format(),
+                report=report,
             )

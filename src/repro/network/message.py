@@ -88,6 +88,7 @@ class Message:
         "measured",
         "kill_wavefront",
         "kill_reason",
+        "kill_history",
         "retransmit_at",
         "app",
         "stream_start_at",
@@ -140,9 +141,11 @@ class Message:
         self.misroutes_used = 0
         # Statistics bookkeeping.
         self.measured = True
-        # Kill bookkeeping.
+        # Kill bookkeeping.  ``kill_history`` records every kill across
+        # attempts as (cycle, cause) and survives begin_attempt resets.
         self.kill_wavefront: Optional[int] = None
         self.kill_reason: Optional[str] = None
+        self.kill_history: List[tuple] = []
         self.retransmit_at: Optional[int] = None
         # Application-layer tag (used by the software-retry baseline).
         self.app: Optional[object] = None

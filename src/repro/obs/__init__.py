@@ -1,0 +1,128 @@
+"""Observability for the CR engine: events, sinks, sampling, forensics.
+
+The package is strictly opt-in: an engine is born with ``bus = None``
+and every instrumented code path guards with a single ``is None``
+check, so untraced runs pay (measurably) nothing.  To trace::
+
+    from repro.obs import JsonlSink, RingBufferSink, attach
+
+    engine = config.build()
+    attach(engine, RingBufferSink(), JsonlSink("results/traces/run.jsonl"))
+    engine.run(5000)
+
+or use :func:`run_traced` / ``cr-sim trace`` for the batteries-included
+path (JSONL + Perfetto + time-series in one call).  See
+``docs/OBSERVABILITY.md`` for the event taxonomy and sink guide.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .events import (
+    EVENT_TYPES,
+    Event,
+    EventBus,
+    FaultActivated,
+    InjectionStalled,
+    InjectionStarted,
+    KillCompleted,
+    KillStarted,
+    MessageCommitted,
+    MessageCreated,
+    MessageDelivered,
+    Retransmit,
+    event_to_dict,
+)
+from .forensics import DeadlockReport, build_deadlock_report
+from .perfetto import chrome_trace, chrome_trace_events, write_chrome_trace
+from .sampler import IntervalSample, IntervalSampler
+from .sinks import (
+    DEFAULT_TRACE_DIR,
+    EventSink,
+    JsonlSink,
+    ListSink,
+    RingBufferSink,
+    filter_events,
+    read_jsonl,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.engine import Engine
+
+
+def attach(engine: "Engine", *sinks: Any) -> EventBus:
+    """Install an event bus on ``engine`` and subscribe ``sinks``.
+
+    Reuses the engine's existing bus when one is already attached, so
+    repeated calls accumulate sinks.  The fault model (if any) is bound
+    to the same bus so fault activations flow to the same sinks.
+    """
+    bus = engine.bus
+    if bus is None:
+        bus = EventBus()
+        engine.bus = bus
+    for sink in sinks:
+        bus.subscribe(sink)
+    if engine.fault_model is not None:
+        engine.fault_model.bind_bus(bus)
+    return bus
+
+
+def detach(engine: "Engine") -> None:
+    """Remove the bus (closing sinks), restoring the untraced fast path."""
+    bus = engine.bus
+    if bus is None:
+        return
+    for sink in bus.sinks:
+        close = getattr(sink, "close", None)
+        if close is not None:
+            close()
+    engine.bus = None
+    if engine.fault_model is not None:
+        engine.fault_model.bind_bus(None)
+
+
+# run_traced imports back into this package, so it comes last.
+from .tracing import (  # noqa: E402
+    TracedRun,
+    config_for_experiment,
+    run_traced,
+    trace_experiments,
+)
+
+__all__ = [
+    "DEFAULT_TRACE_DIR",
+    "EVENT_TYPES",
+    "DeadlockReport",
+    "Event",
+    "EventBus",
+    "EventSink",
+    "FaultActivated",
+    "InjectionStalled",
+    "InjectionStarted",
+    "IntervalSample",
+    "IntervalSampler",
+    "JsonlSink",
+    "KillCompleted",
+    "KillStarted",
+    "ListSink",
+    "MessageCommitted",
+    "MessageCreated",
+    "MessageDelivered",
+    "Retransmit",
+    "RingBufferSink",
+    "TracedRun",
+    "attach",
+    "build_deadlock_report",
+    "chrome_trace",
+    "chrome_trace_events",
+    "config_for_experiment",
+    "detach",
+    "event_to_dict",
+    "filter_events",
+    "read_jsonl",
+    "run_traced",
+    "trace_experiments",
+    "write_chrome_trace",
+]

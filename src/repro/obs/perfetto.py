@@ -1,0 +1,188 @@
+"""Chrome trace-event export (loads in Perfetto / chrome://tracing).
+
+The exporter turns an event stream into the Trace Event JSON format:
+one *process* per source node, one *track* (thread) per message uid, so
+a loaded trace shows every worm's life as a row of spans:
+
+* ``attempt N`` spans run from :class:`InjectionStarted` to the kill,
+  the delivery, or the end of the trace -- their name records how the
+  attempt ended.
+* ``kill <cause>`` spans run from :class:`KillStarted` to
+  :class:`KillCompleted`, with the wavefront extent in the args -- the
+  kill wavefronts the paper describes become literally visible.
+* Stalls, backoff draws, commits and fault activations render as
+  instant events.
+
+Cycles map to microseconds (1 cycle = 1 us), which keeps Perfetto's
+time axis readable for runs of a few thousand cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Iterable, List
+
+from .events import (
+    Event,
+    FaultActivated,
+    InjectionStalled,
+    InjectionStarted,
+    KillCompleted,
+    KillStarted,
+    MessageCommitted,
+    MessageDelivered,
+    Retransmit,
+)
+
+
+def _args(event: Event) -> Dict[str, Any]:
+    return dataclasses.asdict(event)
+
+
+def _span(name: str, pid: int, tid: int, start: int, end: int,
+          args: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "ts": start,
+        "dur": max(end - start, 1),
+        "args": args,
+    }
+
+
+def _instant(name: str, pid: int, tid: int, cycle: int,
+             args: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "ph": "i",
+        "s": "t",
+        "pid": pid,
+        "tid": tid,
+        "ts": cycle,
+        "args": args,
+    }
+
+
+def chrome_trace_events(events: Iterable[Event]) -> List[Dict[str, Any]]:
+    """Trace Event entries for an event stream, spans matched up.
+
+    Spans still open when the stream ends (e.g. a worm wedged in a
+    deadlock) are closed at the last observed cycle, so a partial trace
+    still loads.
+    """
+    out: List[Dict[str, Any]] = []
+    open_attempts: Dict[int, InjectionStarted] = {}
+    open_kills: Dict[int, KillStarted] = {}
+    homes: Dict[int, int] = {}  # uid -> pid (source node)
+    pids: Dict[int, None] = {}
+    last_cycle = 0
+
+    def pid_for(uid: int, fallback: int = 0) -> int:
+        return homes.get(uid, fallback)
+
+    for event in events:
+        last_cycle = max(last_cycle, event.cycle)
+        if isinstance(event, InjectionStarted):
+            homes.setdefault(event.uid, event.src)
+            pids[event.src] = None
+            open_attempts[event.uid] = event
+        elif isinstance(event, KillStarted):
+            started = open_attempts.pop(event.uid, None)
+            if started is not None:
+                out.append(_span(
+                    f"attempt {started.attempt} (killed: {event.cause})",
+                    pid_for(event.uid), event.uid,
+                    started.cycle, event.cycle, _args(started),
+                ))
+            open_kills[event.uid] = event
+        elif isinstance(event, KillCompleted):
+            kill = open_kills.pop(event.uid, None)
+            if kill is not None:
+                out.append(_span(
+                    f"kill {kill.cause}",
+                    pid_for(event.uid), event.uid,
+                    kill.cycle, event.cycle, _args(kill),
+                ))
+        elif isinstance(event, MessageDelivered):
+            homes.setdefault(event.uid, event.src)
+            pids[event.src] = None
+            started = open_attempts.pop(event.uid, None)
+            if started is not None:
+                out.append(_span(
+                    f"attempt {started.attempt} (delivered)",
+                    pid_for(event.uid), event.uid,
+                    started.cycle, event.cycle, _args(started),
+                ))
+            out.append(_instant(
+                "delivered", pid_for(event.uid), event.uid,
+                event.cycle, _args(event),
+            ))
+        elif isinstance(event, MessageCommitted):
+            out.append(_instant(
+                "committed", pid_for(event.uid, event.src), event.uid,
+                event.cycle, _args(event),
+            ))
+        elif isinstance(event, InjectionStalled):
+            out.append(_instant(
+                "injection stalled", pid_for(event.uid, event.src),
+                event.uid, event.cycle, _args(event),
+            ))
+        elif isinstance(event, Retransmit):
+            out.append(_instant(
+                f"backoff gap {event.gap}", pid_for(event.uid),
+                event.uid, event.cycle, _args(event),
+            ))
+        elif isinstance(event, FaultActivated):
+            pids[event.src] = None
+            out.append(_instant(
+                f"fault: {event.kind}", event.src,
+                event.uid if event.uid is not None else 0,
+                event.cycle, _args(event),
+            ))
+
+    # Close anything left open so a wedged/partial trace still renders.
+    for uid, started in open_attempts.items():
+        out.append(_span(
+            f"attempt {started.attempt} (unfinished)",
+            pid_for(uid), uid, started.cycle, last_cycle + 1,
+            _args(started),
+        ))
+    for uid, kill in open_kills.items():
+        out.append(_span(
+            f"kill {kill.cause} (unfinished)",
+            pid_for(uid), uid, kill.cycle, last_cycle + 1, _args(kill),
+        ))
+
+    # Name the per-node processes so Perfetto's sidebar reads well.
+    for pid in sorted(pids):
+        out.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": f"node {pid}"},
+        })
+    return out
+
+
+def chrome_trace(events: Iterable[Event]) -> Dict[str, Any]:
+    """The full Trace Event JSON document for an event stream."""
+    return {
+        "traceEvents": chrome_trace_events(events),
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "1 trace us = 1 simulated cycle"},
+    }
+
+
+def write_chrome_trace(events: Iterable[Event], path: str) -> int:
+    """Write a Perfetto-loadable trace file; returns entries written."""
+    document = chrome_trace(events)
+    parent = os.path.dirname(str(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return len(document["traceEvents"])

@@ -1,0 +1,191 @@
+"""Periodic time-series metrics sampled alongside ``StatsCollector``.
+
+End-of-run scalars say *that* a run saturated; the sampler says *when*.
+Every ``interval`` cycles it closes a sample holding the interval's
+counter deltas (flits injected, payload delivered, kills, messages
+created/delivered), the latency distribution of messages delivered
+*within the interval*, and an instantaneous total buffer occupancy --
+the curve shapes behind stalled injections, kill storms, and post-fault
+recovery.
+
+The sampler is engine-driven (``engine.sampler`` is checked once per
+cycle, same guard discipline as the event bus) and closes on interval
+boundaries; :meth:`finalize` closes the trailing partial interval at
+the end of a run.  Samples are plain dicts end to end, so they ride a
+``run_simulation`` report across process boundaries and into the
+campaign SQLite store unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+
+from ..stats.latency import percentile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..network.engine import Engine
+
+#: counters whose per-interval deltas the sampler records.
+_DELTA_COUNTERS = (
+    "flits_injected",
+    "payload_flits_delivered",
+    "messages_created",
+    "messages_delivered",
+    "kills",
+)
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """Metrics for one sampling interval ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    injected_flits: int
+    delivered_flits: int
+    created_messages: int
+    delivered_messages: int
+    kills: int
+    accepted_load: float  #: injected flits per node-cycle
+    throughput: float  #: delivered payload flits per node-cycle
+    kill_rate: float  #: kills per message delivered in the interval
+    latency_mean: float  #: mean latency of messages delivered here
+    latency_p99: float
+    occupancy: int  #: total buffered flits at the interval close
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "injected_flits": self.injected_flits,
+            "delivered_flits": self.delivered_flits,
+            "created_messages": self.created_messages,
+            "delivered_messages": self.delivered_messages,
+            "kills": self.kills,
+            "accepted_load": self.accepted_load,
+            "throughput": self.throughput,
+            "kill_rate": self.kill_rate,
+            "latency_mean": self.latency_mean,
+            "latency_p99": self.latency_p99,
+            "occupancy": self.occupancy,
+        }
+
+
+class IntervalSampler:
+    """Collects one :class:`IntervalSample` every ``interval`` cycles."""
+
+    def __init__(self, engine: "Engine", interval: int = 100) -> None:
+        if interval < 1:
+            raise ValueError("sample interval must be >= 1")
+        self.engine = engine
+        self.interval = interval
+        self.samples: List[IntervalSample] = []
+        self._start = 0
+        self._base = {name: 0 for name in _DELTA_COUNTERS}
+        self._latency_base = 0
+
+    # ------------------------------------------------------------------
+    # Engine hook
+    # ------------------------------------------------------------------
+
+    def on_cycle(self, now: int) -> None:
+        """Called by the engine at the end of every cycle."""
+        if (now + 1 - self._start) >= self.interval:
+            self._close(now + 1)
+
+    def finalize(self, now: int) -> None:
+        """Close the trailing partial interval, if it saw any cycles."""
+        if now > self._start:
+            self._close(now)
+
+    # ------------------------------------------------------------------
+    # Sample construction
+    # ------------------------------------------------------------------
+
+    def _close(self, end: int) -> None:
+        engine = self.engine
+        counters = engine.stats.counters
+        deltas = {}
+        for name in _DELTA_COUNTERS:
+            current = counters[name]
+            deltas[name] = current - self._base[name]
+            self._base[name] = current
+
+        latencies = engine.stats.total_latencies[self._latency_base:]
+        self._latency_base = len(engine.stats.total_latencies)
+        if latencies:
+            mean = sum(latencies) / len(latencies)
+            p99 = percentile(sorted(latencies), 0.99)
+        else:
+            mean = 0.0
+            p99 = 0.0
+
+        occupancy = sum(
+            buf.occupancy
+            for router in engine.routers
+            for port in router.in_buffers
+            for buf in port
+        )
+
+        span = end - self._start
+        node_cycles = engine.topology.num_nodes * span
+        delivered_messages = deltas["messages_delivered"]
+        self.samples.append(IntervalSample(
+            index=len(self.samples),
+            start=self._start,
+            end=end,
+            injected_flits=deltas["flits_injected"],
+            delivered_flits=deltas["payload_flits_delivered"],
+            created_messages=deltas["messages_created"],
+            delivered_messages=delivered_messages,
+            kills=deltas["kills"],
+            accepted_load=deltas["flits_injected"] / node_cycles,
+            throughput=deltas["payload_flits_delivered"] / node_cycles,
+            kill_rate=(deltas["kills"] / delivered_messages
+                       if delivered_messages else 0.0),
+            latency_mean=mean,
+            latency_p99=p99,
+            occupancy=occupancy,
+        ))
+        self._start = end
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """The samples as flat JSON-ready dicts."""
+        return [sample.as_dict() for sample in self.samples]
+
+    def series(self, metric: str) -> List[float]:
+        """One metric's values across the samples, in time order."""
+        return [getattr(sample, metric) for sample in self.samples]
+
+    def to_csv(self, path: str) -> int:
+        """Write the samples as CSV rows; returns the row count."""
+        from ..sim.export import rows_to_csv
+
+        return rows_to_csv(self.rows(), path)
+
+    def to_svg(
+        self,
+        path: str,
+        metrics: Sequence[str] = (
+            "accepted_load", "throughput", "latency_mean", "kills",
+            "occupancy",
+        ),
+        title: str = "",
+    ) -> str:
+        """Write stacked sparklines of the chosen metrics; returns SVG."""
+        from ..stats.svg import render_sparkline_rows
+
+        svg = render_sparkline_rows(
+            [(metric, self.series(metric)) for metric in metrics],
+            title=title,
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(svg)
+        return svg

@@ -115,6 +115,11 @@ class SimConfig:
     seed: int = 42
     queue_cap: int = 64
     watchdog: int = 20000
+    # --- observability -------------------------------------------------
+    # When set, build() attaches a repro.obs.IntervalSampler collecting
+    # time-series metrics every N cycles; run_simulation() then reports
+    # them under "timeseries".
+    sample_interval: Optional[int] = None
 
     # ------------------------------------------------------------------
 
@@ -235,6 +240,12 @@ class SimConfig:
                 ack_length=self.swr_ack_length,
                 retry_limit=self.swr_retry_limit,
             ).attach(engine)
+        if self.sample_interval is not None:
+            from ..obs.sampler import IntervalSampler
+
+            engine.sampler = IntervalSampler(
+                engine, interval=self.sample_interval
+            )
         return engine
 
     def _make_fault_model(

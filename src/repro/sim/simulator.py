@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from ..core.guarantees import DeliveryLedger
 from ..network.engine import Engine
@@ -37,21 +37,33 @@ class SimResult:
         return self.report[key]
 
 
-def run_simulation(config: SimConfig, keep_engine: bool = False) -> SimResult:
+def run_simulation(
+    config: SimConfig,
+    keep_engine: bool = False,
+    setup: Optional[Callable[[Engine], None]] = None,
+) -> SimResult:
     """Build and run one simulation to completion.
 
     Generation runs for ``warmup + measure`` cycles; the network is then
     drained (bounded by ``config.drain``) so late measured messages still
     record their latency.  Messages still undelivered after the drain
     budget are reported in the ``undelivered`` field (censored sample).
+
+    ``setup`` runs on the freshly built engine before the first cycle --
+    the hook :func:`repro.obs.run_traced` uses to attach event sinks.
     """
     engine = config.build()
+    if setup is not None:
+        setup(engine)
     active = config.warmup + config.measure
     engine.run(active)
     drained = engine.run_until_drained(config.drain)
     report = engine.stats.report()
     report["drained"] = drained
     report["offered_load"] = config.load
+    if engine.sampler is not None:
+        engine.sampler.finalize(engine.now)
+        report["timeseries"] = engine.sampler.rows()
     return SimResult(
         config=config,
         report=report,

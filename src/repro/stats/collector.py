@@ -69,6 +69,10 @@ class StatsCollector:
 
     def on_delivery(self, message: "Message", now: int, corrupt: bool) -> None:
         self.counters["messages_delivered"] += 1
+        # Window-independent payload total (the interval sampler takes
+        # per-interval deltas of this; the window counter below cannot
+        # serve, since it freezes outside the measurement window).
+        self.counters["payload_flits_delivered"] += message.payload_length
         if corrupt:
             self.counters["corrupt_deliveries"] += 1
         if message.used_escape:

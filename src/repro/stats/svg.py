@@ -15,7 +15,7 @@ No dependencies: the output is a plain SVG string, written by the CLI's
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..network.engine import Engine
@@ -122,5 +122,103 @@ def render_network_svg(engine: "Engine", title: str = "") -> str:
             f'font-family="monospace" font-size="10">'
             f"{router.node_id}</text>"
         )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Sparklines (interval-sampler time series)
+# ----------------------------------------------------------------------
+
+SPARK_WIDTH = 480
+SPARK_HEIGHT = 48
+SPARK_GAP = 14
+SPARK_LABEL = 130
+
+
+def _polyline_points(
+    values: Sequence[float], width: int, height: int
+) -> str:
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    step = width / max(len(values) - 1, 1)
+    points = []
+    for i, value in enumerate(values):
+        # A constant series draws as a midline, not a degenerate point.
+        frac = (value - lo) / span if span else 0.5
+        points.append(f"{i * step:.1f},{height * (1 - frac):.1f}")
+    return " ".join(points)
+
+
+def render_sparkline(
+    values: Sequence[float],
+    width: int = SPARK_WIDTH,
+    height: int = SPARK_HEIGHT,
+    colour: str = "#2266aa",
+) -> str:
+    """One series as a bare ``<polyline>`` fragment (no document)."""
+    if not values:
+        return ""
+    return (
+        f'<polyline fill="none" stroke="{colour}" stroke-width="1.5" '
+        f'points="{_polyline_points(values, width, height)}"/>'
+    )
+
+
+def render_sparkline_rows(
+    rows: Sequence[Tuple[str, Sequence[float]]],
+    title: str = "",
+) -> str:
+    """Stacked labelled sparklines as one SVG document.
+
+    ``rows`` is ``[(label, values), ...]`` -- typically the output of
+    :meth:`repro.obs.IntervalSampler.series` per metric.  Each row is
+    scaled independently (the point is shape over time, not cross-metric
+    comparison); min/max annotations carry the magnitudes.
+    """
+    top = 28 if title else 8
+    row_height = SPARK_HEIGHT + SPARK_GAP
+    width = SPARK_LABEL + SPARK_WIDTH + 90
+    height = top + row_height * len(rows) + 8
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fbfaf8"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{width / 2}" y="18" text-anchor="middle" '
+            f'font-family="monospace" font-size="13">{title}</text>'
+        )
+    for index, (label, values) in enumerate(rows):
+        y = top + index * row_height
+        parts.append(
+            f'<text x="{SPARK_LABEL - 8}" y="{y + SPARK_HEIGHT / 2 + 4}" '
+            f'text-anchor="end" font-family="monospace" '
+            f'font-size="11">{label}</text>'
+        )
+        if values:
+            line = render_sparkline(values)
+            parts.append(
+                f'<g transform="translate({SPARK_LABEL},{y})">{line}</g>'
+            )
+            parts.append(
+                f'<text x="{SPARK_LABEL + SPARK_WIDTH + 6}" y="{y + 10}" '
+                f'font-family="monospace" font-size="9">'
+                f"max {max(values):g}</text>"
+            )
+            parts.append(
+                f'<text x="{SPARK_LABEL + SPARK_WIDTH + 6}" '
+                f'y="{y + SPARK_HEIGHT}" '
+                f'font-family="monospace" font-size="9">'
+                f"min {min(values):g}</text>"
+            )
+        else:
+            parts.append(
+                f'<text x="{SPARK_LABEL}" y="{y + SPARK_HEIGHT / 2 + 4}" '
+                f'font-family="monospace" font-size="10" '
+                f'fill="#999">(no samples)</text>'
+            )
     parts.append("</svg>")
     return "\n".join(parts)

@@ -28,6 +28,10 @@ def message_timeline(message: "Message") -> List[Tuple[str, object]]:
         ("kills", message.kills),
         ("fkills", message.fkills),
     ]
+    # One entry per kill across attempts; indexed keys keep the pairs
+    # unique (callers build dicts from the timeline).
+    for index, (cycle, cause) in enumerate(message.kill_history):
+        events.append((f"kill_{index}", f"t={cycle} {cause}"))
     if message.first_inject_at is not None:
         events.append(("first_injection", message.first_inject_at))
     if message.header_consumed_at is not None:
@@ -88,10 +92,12 @@ def occupancy_snapshot(engine: "Engine") -> str:
 
 def channel_heatmap(engine: "Engine", top: int = 10) -> List[Dict[str, object]]:
     """The ``top`` busiest link channels by flits carried."""
+    # (src, dst) tiebreak: equal flit counts are common in short or
+    # symmetric runs, and Python's sort is stable on construction order,
+    # which is not part of the reproducibility contract.
     links = sorted(
         engine.network.link_channels,
-        key=lambda ch: ch.flits_carried,
-        reverse=True,
+        key=lambda ch: (-ch.flits_carried, ch.src_node, ch.dst_node),
     )
     return [
         {
@@ -112,14 +118,24 @@ def channel_load_stats(engine: "Engine") -> Dict[str, float]:
     ``utilisation`` is flits carried per channel-cycle; ``imbalance`` is
     the max/mean ratio (1.0 = perfectly balanced -- adaptive routing
     should sit far closer to 1.0 than deterministic routing on skewed
-    traffic).
+    traffic).  Both are computed over *live* channels only: a dead
+    channel carries nothing by construction, and counting it would
+    overstate imbalance in exactly the fault scenarios where the metric
+    matters.
     """
     cycles = max(engine.now, 1)
-    counts = [ch.flits_carried for ch in engine.network.link_channels]
+    channels = engine.network.link_channels
+    counts = [ch.flits_carried for ch in channels if not ch.dead]
+    dead = len(channels) - len(counts)
     if not counts:
-        return {"utilisation": 0.0, "imbalance": 0.0}
+        return {
+            "utilisation": 0.0, "imbalance": 0.0,
+            "live_channels": 0, "dead_channels": dead,
+        }
     mean = sum(counts) / len(counts)
     return {
         "utilisation": mean / cycles,
         "imbalance": (max(counts) / mean) if mean else 0.0,
+        "live_channels": len(counts),
+        "dead_channels": dead,
     }

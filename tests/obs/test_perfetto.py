@@ -1,0 +1,122 @@
+"""Chrome trace-event export: span matching and loadability."""
+
+import json
+
+from repro.obs.events import (
+    FaultActivated,
+    InjectionStalled,
+    InjectionStarted,
+    KillCompleted,
+    KillStarted,
+    MessageDelivered,
+)
+from repro.obs.perfetto import (
+    chrome_trace,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+
+
+def started(cycle, uid, src=0, dst=5, attempt=1):
+    return InjectionStarted(cycle, uid=uid, src=src, dst=dst,
+                            attempt=attempt, wire_length=12)
+
+
+def delivered(cycle, uid, src=0, dst=5):
+    return MessageDelivered(cycle, uid=uid, src=src, dst=dst,
+                            payload_length=8, total_latency=cycle,
+                            network_latency=cycle, corrupt=False)
+
+
+def spans(entries):
+    return [e for e in entries if e["ph"] == "X"]
+
+
+def instants(entries):
+    return [e for e in entries if e["ph"] == "i"]
+
+
+class TestSpanMatching:
+    def test_delivered_attempt_becomes_a_span(self):
+        entries = chrome_trace_events([started(10, 1), delivered(40, 1)])
+        (span,) = spans(entries)
+        assert span["name"] == "attempt 1 (delivered)"
+        assert (span["ts"], span["dur"]) == (10, 30)
+        assert span["pid"] == 0 and span["tid"] == 1
+        (instant,) = instants(entries)
+        assert instant["name"] == "delivered"
+
+    def test_killed_attempt_and_kill_wavefront_spans(self):
+        events = [
+            started(10, 1),
+            KillStarted(25, uid=1, cause="timeout", backward=True,
+                        wavefront_extent=4),
+            KillCompleted(31, uid=1, outcome="requeued"),
+            started(50, 1, attempt=2),
+            delivered(90, 1),
+        ]
+        entries = chrome_trace_events(events)
+        names = sorted(span["name"] for span in spans(entries))
+        assert names == [
+            "attempt 1 (killed: timeout)",
+            "attempt 2 (delivered)",
+            "kill timeout",
+        ]
+        kill = next(s for s in spans(entries) if s["name"] == "kill timeout")
+        assert (kill["ts"], kill["dur"]) == (25, 6)
+        assert kill["args"]["wavefront_extent"] == 4
+
+    def test_unfinished_spans_close_at_trace_end(self):
+        events = [
+            started(10, 1),
+            KillStarted(30, uid=2, cause="fault", backward=False,
+                        wavefront_extent=2),
+            InjectionStalled(42, uid=3, src=7),
+        ]
+        entries = chrome_trace_events(events)
+        names = {span["name"] for span in spans(entries)}
+        assert names == {"attempt 1 (unfinished)",
+                         "kill fault (unfinished)"}
+        # Both close at last observed cycle + 1 (42 + 1 here).
+        for span in spans(entries):
+            assert span["ts"] + span["dur"] == 43
+
+    def test_spans_have_positive_duration(self):
+        # A zero-length interval still renders (dur clamped to 1).
+        entries = chrome_trace_events([started(10, 1), delivered(10, 1)])
+        assert spans(entries)[0]["dur"] == 1
+
+    def test_instants_for_stalls_and_faults(self):
+        entries = chrome_trace_events([
+            InjectionStalled(5, uid=1, src=3),
+            FaultActivated(9, kind="channel_dead", src=2, dst=6),
+        ])
+        names = {e["name"] for e in instants(entries)}
+        assert names == {"injection stalled", "fault: channel_dead"}
+
+
+class TestMetadata:
+    def test_process_names_for_every_source_node(self):
+        entries = chrome_trace_events([
+            started(0, 1, src=3), delivered(9, 1, src=3),
+            started(0, 2, src=7), delivered(9, 2, src=7),
+        ])
+        meta = [e for e in entries if e["ph"] == "M"]
+        assert {(m["pid"], m["args"]["name"]) for m in meta} == {
+            (3, "node 3"), (7, "node 7"),
+        }
+
+
+class TestDocument:
+    def test_chrome_trace_shape(self):
+        doc = chrome_trace([started(0, 1), delivered(5, 1)])
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        # The document must survive JSON serialisation untouched.
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_write_chrome_trace_parses_back(self, tmp_path):
+        path = str(tmp_path / "traces" / "run.perfetto.json")
+        count = write_chrome_trace([started(0, 1), delivered(5, 1)], path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert len(doc["traceEvents"]) == count > 0

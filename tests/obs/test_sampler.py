@@ -1,0 +1,110 @@
+"""Interval sampler: boundaries, counter deltas, exports."""
+
+import pytest
+
+from repro import SimConfig, run_simulation
+from repro.obs.sampler import IntervalSampler
+
+
+def sampled_result(interval=100, measure=300, **overrides):
+    params = dict(
+        radix=4, dims=2, routing="cr", load=0.2, message_length=8,
+        warmup=50, measure=measure, drain=3000, seed=2,
+        sample_interval=interval,
+    )
+    params.update(overrides)
+    return run_simulation(SimConfig(**params), keep_engine=True)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_interval(self):
+        engine = SimConfig(radix=4, dims=2, message_length=8).build()
+        with pytest.raises(ValueError):
+            IntervalSampler(engine, interval=0)
+
+    def test_config_wires_the_sampler(self):
+        engine = SimConfig(
+            radix=4, dims=2, message_length=8, sample_interval=50
+        ).build()
+        assert engine.sampler is not None
+        assert engine.sampler.interval == 50
+
+
+class TestSampling:
+    def test_intervals_tile_the_run_contiguously(self):
+        result = sampled_result()
+        samples = result.report["timeseries"]
+        assert samples, "sampled run produced no intervals"
+        assert [s["index"] for s in samples] == list(range(len(samples)))
+        assert samples[0]["start"] == 0
+        for prev, cur in zip(samples, samples[1:]):
+            assert cur["start"] == prev["end"]
+        assert samples[-1]["end"] == result.cycles_run
+
+    def test_finalize_closes_a_partial_trailing_interval(self):
+        # 350 active cycles at interval 100 plus a drain that almost
+        # never lands on a boundary: the last sample must be partial.
+        result = sampled_result(interval=100, measure=300)
+        samples = result.report["timeseries"]
+        spans = [s["end"] - s["start"] for s in samples]
+        assert all(span == 100 for span in spans[:-1])
+        assert 0 < spans[-1] <= 100
+
+    def test_deltas_sum_to_the_run_totals(self):
+        result = sampled_result()
+        samples = result.report["timeseries"]
+        counters = result.stats.counters
+        assert (sum(s["created_messages"] for s in samples)
+                == counters["messages_created"])
+        assert (sum(s["delivered_messages"] for s in samples)
+                == counters["messages_delivered"])
+        assert (sum(s["kills"] for s in samples) == counters["kills"])
+        assert (sum(s["injected_flits"] for s in samples)
+                == counters["flits_injected"])
+
+    def test_latency_stats_cover_each_interval_independently(self):
+        result = sampled_result()
+        samples = result.report["timeseries"]
+        delivered = [s for s in samples if s["delivered_messages"]]
+        assert delivered
+        for sample in delivered:
+            assert sample["latency_p99"] >= sample["latency_mean"] > 0
+        for sample in samples:
+            if not sample["delivered_messages"]:
+                assert sample["latency_mean"] == 0.0
+
+    def test_occupancy_drains_to_zero(self):
+        result = sampled_result()
+        samples = result.report["timeseries"]
+        assert samples[-1]["occupancy"] == 0  # run fully drained
+        assert max(s["occupancy"] for s in samples) > 0
+
+
+class TestExports:
+    def test_series_matches_rows(self):
+        result = sampled_result()
+        sampler = result.engine.sampler
+        assert sampler.series("kills") == [
+            s["kills"] for s in sampler.rows()
+        ]
+
+    def test_to_csv_round_trip(self, tmp_path):
+        from repro import read_csv
+
+        result = sampled_result()
+        path = str(tmp_path / "series.csv")
+        count = result.engine.sampler.to_csv(path)
+        rows = read_csv(path)
+        assert count == len(rows) == len(result.report["timeseries"])
+        assert rows[0]["start"] == "0"  # read_csv yields strings
+
+    def test_to_svg_renders_one_row_per_metric(self, tmp_path):
+        result = sampled_result()
+        path = str(tmp_path / "series.svg")
+        svg = result.engine.sampler.to_svg(
+            path, metrics=("throughput", "occupancy"), title="t"
+        )
+        assert svg.startswith("<svg")
+        assert "throughput" in svg and "occupancy" in svg
+        with open(path) as handle:
+            assert handle.read() == svg

@@ -1,0 +1,107 @@
+"""Sinks: ring buffer semantics, JSONL round-trips, artifact parsing."""
+
+import json
+
+import pytest
+
+from repro.obs.events import MessageCreated, Retransmit
+from repro.obs.sinks import (
+    JsonlSink,
+    ListSink,
+    RingBufferSink,
+    filter_events,
+    read_jsonl,
+)
+
+
+def make_events(n):
+    return [
+        MessageCreated(cycle, uid=cycle, src=0, dst=1, payload_length=4)
+        for cycle in range(n)
+    ]
+
+
+class TestRingBufferSink:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+    def test_keeps_only_the_newest_events(self):
+        ring = RingBufferSink(capacity=3)
+        events = make_events(5)
+        for event in events:
+            ring.on_event(event)
+        assert ring.events == events[-3:]
+        assert ring.seen == 5
+
+    def test_last_n(self):
+        ring = RingBufferSink(capacity=4)
+        events = make_events(4)
+        for event in events:
+            ring.on_event(event)
+        assert ring.last(2) == events[-2:]
+        assert ring.last(10) == events  # clamped to what is retained
+        assert ring.last(0) == []
+
+    def test_clear(self):
+        ring = RingBufferSink(capacity=4)
+        ring.on_event(make_events(1)[0])
+        ring.clear()
+        assert ring.events == []
+
+
+class TestListSink:
+    def test_keeps_everything_in_order(self):
+        sink = ListSink()
+        events = make_events(7)
+        for event in events:
+            sink.on_event(event)
+        assert sink.events == events
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlSink(path) as sink:
+            sink.on_event(MessageCreated(3, uid=9, src=1, dst=2,
+                                         payload_length=8))
+            sink.on_event(Retransmit(10, uid=9, attempt=1, gap=4,
+                                     retransmit_at=14))
+        assert sink.written == 2
+        parsed = read_jsonl(path)
+        assert parsed == [
+            {"event": "MessageCreated", "cycle": 3, "uid": 9, "src": 1,
+             "dst": 2, "payload_length": 8},
+            {"event": "Retransmit", "cycle": 10, "uid": 9, "attempt": 1,
+             "gap": 4, "retransmit_at": 14},
+        ]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "t.jsonl")
+        with JsonlSink(path):
+            pass
+        assert read_jsonl(path) == []
+
+    def test_close_twice_is_safe(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "MessageCreated"}\n{oops\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(str(path))
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        path.write_text('{"event": "A"}\n\n{"event": "B"}\n')
+        assert [e["event"] for e in read_jsonl(str(path))] == ["A", "B"]
+
+
+class TestFilterEvents:
+    def test_by_name_and_passthrough(self):
+        events = [{"event": "A"}, {"event": "B"}, {"event": "A"}]
+        assert filter_events(events, "A") == [{"event": "A"}] * 2
+        assert filter_events(events) == events
+        assert filter_events(events, "C") == []

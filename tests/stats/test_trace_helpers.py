@@ -1,0 +1,151 @@
+"""Trace helpers under torus wraps, dead channels, and tied loads."""
+
+from repro import (
+    SimConfig,
+    channel_heatmap,
+    channel_load_stats,
+    format_timeline,
+    message_timeline,
+    run_simulation,
+)
+
+
+def finished_engine(**overrides):
+    params = dict(
+        radix=4, dims=2, routing="cr", load=0.2, message_length=8,
+        warmup=50, measure=300, drain=3000, seed=2,
+    )
+    params.update(overrides)
+    return run_simulation(SimConfig(**params), keep_engine=True).engine
+
+
+class TestWrapLinks:
+    def test_heatmap_rows_flag_wrap_channels(self):
+        # Uniform traffic on a small torus uses the wraparound links;
+        # the heatmap must label them so hot wraps are identifiable.
+        engine = finished_engine()
+        rows = channel_heatmap(engine, top=len(
+            engine.network.link_channels
+        ))
+        by_flag = {True: 0, False: 0}
+        for row in rows:
+            by_flag[bool(row["wrap"])] += 1
+        assert by_flag[True] > 0 and by_flag[False] > 0
+
+    def test_wrap_channels_carry_traffic_under_uniform_load(self):
+        engine = finished_engine()
+        wrap_flits = sum(
+            ch.flits_carried
+            for ch in engine.network.link_channels if ch.is_wrap
+        )
+        assert wrap_flits > 0
+
+
+class TestDeadChannels:
+    def kill_some(self, engine, n=3):
+        channels = sorted(
+            engine.network.link_channels,
+            key=lambda ch: (ch.src_node, ch.dst_node),
+        )[:n]
+        for channel in channels:
+            channel.dead = True
+        return channels
+
+    def test_load_stats_count_live_and_dead(self):
+        engine = finished_engine()
+        total = len(engine.network.link_channels)
+        self.kill_some(engine, n=3)
+        stats = channel_load_stats(engine)
+        assert stats["dead_channels"] == 3
+        assert stats["live_channels"] == total - 3
+
+    def test_imbalance_ignores_dead_channels(self):
+        # A dead channel carries nothing by construction; counting its
+        # zero would inflate max/mean exactly when faults are active.
+        engine = finished_engine()
+        before = channel_load_stats(engine)
+        killed = self.kill_some(engine, n=2)
+        after = channel_load_stats(engine)
+        live_counts = [
+            ch.flits_carried
+            for ch in engine.network.link_channels if not ch.dead
+        ]
+        mean = sum(live_counts) / len(live_counts)
+        assert after["imbalance"] == max(live_counts) / mean
+        # Killing channels that carried flits shifts the live mean.
+        assert any(ch.flits_carried for ch in killed)
+        assert after["utilisation"] != before["utilisation"]
+
+    def test_all_dead_degenerates_to_zero(self):
+        engine = finished_engine()
+        for channel in engine.network.link_channels:
+            channel.dead = True
+        stats = channel_load_stats(engine)
+        assert stats["utilisation"] == 0.0
+        assert stats["imbalance"] == 0.0
+        assert stats["live_channels"] == 0
+
+    def test_heatmap_reports_dead_flag(self):
+        engine = finished_engine()
+        killed = self.kill_some(engine, n=1)[0]
+        link = f"{killed.src_node}->{killed.dst_node}"
+        rows = channel_heatmap(engine, top=len(
+            engine.network.link_channels
+        ))
+        row = next(r for r in rows if r["link"] == link)
+        assert row["dead"] is True
+
+
+class TestHeatmapDeterminism:
+    def test_ties_break_by_src_then_dst(self):
+        # An unrun network has every count tied at zero: the order must
+        # still be fully determined (construction order is not part of
+        # the reproducibility contract).
+        engine = SimConfig(radix=4, dims=2, message_length=8).build()
+        rows = channel_heatmap(engine, top=len(
+            engine.network.link_channels
+        ))
+        keys = [tuple(map(int, row["link"].split("->"))) for row in rows]
+        assert keys == sorted(keys)
+
+    def test_identical_runs_produce_identical_heatmaps(self):
+        first = channel_heatmap(finished_engine(), top=10)
+        second = channel_heatmap(finished_engine(), top=10)
+        assert first == second
+
+    def test_sorted_by_flits_descending(self):
+        rows = channel_heatmap(finished_engine(), top=10)
+        flits = [row["flits"] for row in rows]
+        assert flits == sorted(flits, reverse=True)
+
+
+class TestKillHistoryTimeline:
+    def killed_delivery(self):
+        engine = finished_engine(load=0.45, seed=5)
+        for message in engine.ledger.deliveries:
+            if message.kill_history:
+                return message
+        raise AssertionError("no delivered message was ever killed")
+
+    def test_timeline_lists_each_kill_with_cycle_and_cause(self):
+        message = self.killed_delivery()
+        events = dict(message_timeline(message))
+        for index, (cycle, cause) in enumerate(message.kill_history):
+            assert events[f"kill_{index}"] == f"t={cycle} {cause}"
+
+    def test_history_length_matches_kill_counters(self):
+        message = self.killed_delivery()
+        assert len(message.kill_history) == message.kills + message.fkills
+
+    def test_format_timeline_shows_the_kills(self):
+        message = self.killed_delivery()
+        text = format_timeline(message)
+        assert "kill_0" in text
+
+    def test_unkilled_message_has_no_kill_entries(self):
+        engine = finished_engine()
+        message = next(
+            m for m in engine.ledger.deliveries if not m.kill_history
+        )
+        events = dict(message_timeline(message))
+        assert not any(key.startswith("kill_") for key in events)

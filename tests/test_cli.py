@@ -92,6 +92,62 @@ class TestSweepCommand:
         assert second.out == first.out
 
 
+class TestTraceCommand:
+    ARGS = [
+        "trace", "--routing", "cr", "--radix", "4", "--cycles", "400",
+        "--message-length", "8", "--load", "0.3", "--seed", "5",
+    ]
+
+    def test_flags_mode_writes_parsable_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro import read_jsonl
+
+        jsonl = str(tmp_path / "run.jsonl")
+        perfetto = str(tmp_path / "run.perfetto.json")
+        csv_path = str(tmp_path / "series.csv")
+        code = cli_main(self.ARGS + [
+            "--jsonl", jsonl, "--perfetto", perfetto,
+            "--sample-interval", "100", "--series-csv", csv_path,
+            "--events", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "buffer occupancy" in out
+        assert "busiest link channels" in out
+        assert "last 3 event(s)" in out
+        events = read_jsonl(jsonl)
+        assert events and all("event" in e for e in events)
+        with open(perfetto) as handle:
+            assert json.load(handle)["traceEvents"]
+        with open(csv_path) as handle:
+            assert handle.readline().startswith("index,")
+
+    def test_preset_defaults_artifacts_under_results(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import json
+        import os
+
+        from repro import read_jsonl
+
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["trace", "e01", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "e01 (cr, load 0.3)" in out
+        jsonl = os.path.join("results", "traces", "e01.jsonl")
+        perfetto = os.path.join("results", "traces", "e01.perfetto.json")
+        assert read_jsonl(jsonl)
+        with open(perfetto) as handle:
+            assert json.load(handle)["traceEvents"]
+
+    def test_unknown_preset_fails_with_choices(self, capsys):
+        code = cli_main(["trace", "e99"])
+        assert code != 0
+        err = capsys.readouterr().err
+        assert "fault-matrix" in err
+
+
 class TestExperimentCommand:
     def test_cheap_experiment_quick_scale(self, capsys):
         assert cli_main(["experiment", "t01"]) == 0
