@@ -1,0 +1,73 @@
+"""Verification overhead: checking must stay cheap, off must stay free.
+
+The invariant checker follows the same guard discipline as the
+observability layer: every hook site in the engine, receiver, kill
+manager, and injector tests ``engine.checker is not None`` and nothing
+else when verification is off.  This benchmark bounds both sides on an
+e01-style run (CR, 8-ary 2-torus, moderate load):
+
+* **disabled**: building the config without ``verify`` leaves
+  ``engine.checker is None`` -- the unverified run *is* the plain run
+  (guard checks only, the same a-fortiori argument as
+  ``bench_obs_overhead``);
+* **enabled**: the fully armed run (default ``check_interval``) is
+  timed end-to-end min-of-N against the plain run; the slowdown must
+  stay under ``OVERHEAD_BUDGET``.
+"""
+
+import time
+
+from repro import SimConfig, VerifyConfig
+
+CYCLES = 800
+ROUNDS = 3
+#: maximum tolerated end-to-end slowdown with every invariant armed.
+OVERHEAD_BUDGET = 0.10
+
+
+def _config(verify):
+    return SimConfig(
+        radix=8, dims=2, routing="cr", load=0.3, message_length=16,
+        warmup=0, measure=CYCLES, seed=99, verify=verify,
+    )
+
+
+def _timed_run(verify):
+    engine = _config(verify).build()
+    if verify is None:
+        assert engine.checker is None  # the default: unverified
+    else:
+        assert engine.checker is not None
+    start = time.perf_counter()
+    engine.run(CYCLES)
+    return time.perf_counter() - start, engine
+
+
+def test_verify_overhead_under_budget(benchmark):
+    verify = VerifyConfig()
+
+    plain_times, verified_times = [], []
+    for _ in range(ROUNDS):
+        elapsed, engine = _timed_run(None)
+        plain_times.append(elapsed)
+        delivered = engine.stats.counters["messages_delivered"]
+        elapsed, engine = _timed_run(verify)
+        verified_times.append(elapsed)
+        checks = engine.checker.checks_run
+    assert delivered > 100  # the run actually simulated traffic
+    assert checks >= CYCLES // verify.check_interval  # checking happened
+    assert engine.checker.flits_consumed > 0
+    assert engine.checker.commits_checked > 0
+
+    # Report the verified path in the benchmark table.
+    benchmark.pedantic(_timed_run, args=(verify,), rounds=1, iterations=1)
+
+    plain, checked = min(plain_times), min(verified_times)
+    overhead = max(0.0, checked / plain - 1.0)
+    print(f"\nverify overhead: plain run {plain * 1000:.1f}ms, "
+          f"verified run {checked * 1000:.1f}ms "
+          f"({checks} sweeps, {overhead * 100:.2f}%)")
+    assert overhead < OVERHEAD_BUDGET, (
+        f"invariant checking cost {overhead:.1%} of run wall time "
+        f"exceeds the {OVERHEAD_BUDGET:.0%} budget"
+    )

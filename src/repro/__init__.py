@@ -122,6 +122,14 @@ from .obs import (
     write_chrome_trace,
 )
 from .stats.svg import render_network_svg, render_sparkline_rows
+from .verify import (
+    InvariantChecker,
+    InvariantViolation,
+    VerifyConfig,
+    apply_mutation,
+    mutation_names,
+    verify_preset,
+)
 from .stats.trace import (
     buffer_occupancy,
     channel_heatmap,
@@ -295,6 +303,13 @@ __all__ = [
     "config_for_experiment",
     "read_jsonl",
     "write_chrome_trace",
+    # verification (see repro.verify for the full surface)
+    "InvariantChecker",
+    "InvariantViolation",
+    "VerifyConfig",
+    "apply_mutation",
+    "mutation_names",
+    "verify_preset",
     # analytical models
     "plain_latency",
     "cr_latency",

@@ -69,15 +69,28 @@ def run_campaign(
     backoff: float = 0.25,
     backoff_cap: float = 5.0,
     progress: Optional[CampaignProgress] = None,
+    verify: bool = False,
 ) -> CampaignRunStats:
     """Execute (or resume) a campaign; every outcome lands in ``store``.
 
     Returns run statistics; raises only on programmer error or
     interrupt — simulation failures are journaled, retried up to
     ``retries`` extra attempts, then recorded as ``failed`` rows.
+
+    ``verify=True`` arms the repro.verify invariant checker on every
+    point.  The verify flag changes each point's config hash, so a
+    campaign first run unverified re-runs (rather than resumes) its
+    points under checking.
     """
     store.register(spec)
     points = list(spec.points())
+    if verify:
+        from dataclasses import replace as _replace
+
+        points = [
+            _replace(point, config=point.config.with_(verify=True))
+            for point in points
+        ]
     stats = CampaignRunStats(total=len(points))
     done_hashes = store.completed(spec.name)
 

@@ -55,6 +55,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--measure", type=int, default=2000)
     run_p.add_argument("--drain", type=int, default=4000)
     run_p.add_argument("--seed", type=int, default=42)
+    run_p.add_argument(
+        "--verify", action="store_true",
+        help="arm the runtime protocol-invariant checker "
+             "(see docs/VERIFICATION.md)",
+    )
 
     exp_p = sub.add_parser("experiment", help="reproduce a table/figure")
     exp_p.add_argument("id", choices=sorted(REGISTRY))
@@ -72,6 +77,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="ignore and don't write the on-disk sweep result cache",
+    )
+    exp_p.add_argument(
+        "--verify", action="store_true",
+        help="arm the invariant checker on every run of the experiment",
     )
 
     sweep_p = sub.add_parser("sweep", help="latency/throughput load sweep")
@@ -203,6 +212,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--sweep-cache", action="store_true",
         help="also reuse the on-disk sweep result cache for points",
     )
+    crun_p.add_argument(
+        "--verify", action="store_true",
+        help="arm the invariant checker on every campaign point "
+             "(changes point hashes: unverified points re-run)",
+    )
 
     cstat_p = camp_sub.add_parser(
         "status", help="stored campaigns, or one campaign in detail"
@@ -233,6 +247,38 @@ def _build_parser() -> argparse.ArgumentParser:
     clist_p.add_argument(
         "--scale", default="quick", choices=["quick", "paper"]
     )
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="replay experiment presets under full invariant checking",
+    )
+    verify_p.add_argument(
+        "experiment", nargs="?", default=None,
+        help="preset to replay (e.g. e01; see --list); omit to replay "
+             "every preset",
+    )
+    verify_p.add_argument(
+        "--list", action="store_true",
+        help="list the known presets and seeded mutations, then exit",
+    )
+    verify_p.add_argument("--seed", type=int, default=42)
+    verify_p.add_argument(
+        "--check-interval", type=int, default=16, metavar="CYCLES",
+        help="cycles between whole-network sweeps (default: %(default)s)",
+    )
+    verify_p.add_argument(
+        "--progress-limit", type=int, default=None, metavar="CYCLES",
+        help="liveness threshold (default: half the engine watchdog)",
+    )
+    verify_p.add_argument(
+        "--mutation", default=None, metavar="NAME",
+        help="inject this seeded protocol bug; the replay then MUST "
+             "trip a checker (differential oracle)",
+    )
+    verify_p.add_argument(
+        "--quick", action="store_true",
+        help="shrink the replayed runs (smoke-test sizing)",
+    )
     return parser
 
 
@@ -255,11 +301,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         measure=args.measure,
         drain=args.drain,
         seed=args.seed,
+        verify=args.verify or None,
     )
     result = run_simulation(config)
+    verify_summary = result.report.get("verify")
     rows = [
         {"metric": key, "value": value}
         for key, value in sorted(result.report.items())
+        if key != "verify"
     ]
     print(
         format_table(
@@ -271,6 +320,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
         )
     )
+    if verify_summary is not None:
+        print(
+            "\ninvariants verified: " + ", ".join(
+                f"{key}={value}"
+                for key, value in sorted(verify_summary.items())
+            )
+        )
     return 0
 
 
@@ -479,6 +535,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
     if args.no_cache:
         scale = scale.scaled(cache=False)
+    if args.verify:
+        scale = scale.scaled(verify=True)
     rows = module.run(scale)
     print(module.table(rows))
     return 0
@@ -499,10 +557,12 @@ def _resolve_campaign_spec(name: str, scale_name: str):
     if os.path.exists(name):
         with open(name, "r", encoding="utf-8") as handle:
             return CampaignSpec.from_dict(json.load(handle))
-    raise SystemExit(
+    print(
         f"cr-sim campaign: {name!r} is neither a built-in campaign "
-        f"({sorted(BUILTIN_CAMPAIGNS)}) nor a spec file"
+        f"({sorted(BUILTIN_CAMPAIGNS)}) nor a spec file",
+        file=sys.stderr,
     )
+    raise SystemExit(2)
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
@@ -531,6 +591,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             cache=True if args.sweep_cache else None,
             retries=args.retries,
             progress=report,
+            verify=args.verify,
         )
     print(
         f"campaign {spec.name!r}: {stats.ran} point(s) run, "
@@ -579,10 +640,12 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         known = {c["name"] for c in store.campaigns()}
         for name in (args.baseline, args.candidate):
             if name not in known:
-                raise SystemExit(
+                print(
                     f"cr-sim campaign report: no stored campaign "
-                    f"{name!r} in {args.db} (have: {sorted(known)})"
+                    f"{name!r} in {args.db} (have: {sorted(known)})",
+                    file=sys.stderr,
                 )
+                return 2
         rows = compare_campaigns(
             store, args.baseline, args.candidate, metrics
         )
@@ -634,6 +697,89 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Replay experiment presets with every invariant armed.
+
+    Exit status: 0 when every replay behaved as expected -- clean runs
+    pass all checkers; with ``--mutation`` at least one replay must
+    *trip* a checker (the differential oracle) -- else 1.  Unknown
+    presets or mutations exit 2 with a usage message.
+    """
+    from .obs.tracing import trace_experiments
+    from .verify import mutation_names, verify_presets
+    from .verify.mutations import MUTATIONS
+
+    if args.list:
+        print("experiment presets: " + ", ".join(trace_experiments()))
+        print("seeded mutations:")
+        for name in mutation_names():
+            mutation = MUTATIONS[name]
+            print(f"  {name} [{mutation.caught_by}]: "
+                  f"{mutation.description}")
+        return 0
+    if args.experiment is not None:
+        if args.experiment not in trace_experiments():
+            print(
+                f"cr-sim verify: unknown experiment "
+                f"{args.experiment!r}; choose from "
+                f"{', '.join(trace_experiments())}",
+                file=sys.stderr,
+            )
+            return 2
+        experiments = [args.experiment]
+    else:
+        experiments = trace_experiments()
+    if args.mutation is not None and args.mutation not in mutation_names():
+        print(
+            f"cr-sim verify: unknown mutation {args.mutation!r}; "
+            f"choose from {', '.join(mutation_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = (
+        {"radix": 4, "warmup": 50, "measure": 400, "drain": 3000}
+        if args.quick
+        else None
+    )
+    outcomes = verify_presets(
+        experiments,
+        seed=args.seed,
+        mutation=args.mutation,
+        check_interval=args.check_interval,
+        progress_limit=args.progress_limit,
+        overrides=overrides,
+    )
+    for outcome in outcomes:
+        if outcome.ok:
+            detail = (
+                f"{outcome.checks} sweeps, {outcome.delivered} "
+                f"delivered, drained={outcome.drained}, "
+                f"t={outcome.cycles}"
+            )
+            print(f"pass   {outcome.experiment}: {detail}")
+        elif outcome.violation is not None:
+            v = outcome.violation
+            print(
+                f"CAUGHT {outcome.experiment}: [{v.invariant}] "
+                f"t={v.cycle}: {v.detail}"
+            )
+        else:
+            print(f"CAUGHT {outcome.experiment}: {outcome.error}")
+    if args.mutation is not None:
+        caught = sum(1 for outcome in outcomes if outcome.caught)
+        print(
+            f"\nmutation {args.mutation!r}: caught in {caught}/"
+            f"{len(outcomes)} preset(s)"
+        )
+        return 0 if caught else 1
+    clean = all(outcome.ok for outcome in outcomes)
+    print(
+        f"\n{len(outcomes)} preset(s) replayed under full checking: "
+        + ("all invariants hold" if clean else "INVARIANT VIOLATED")
+    )
+    return 0 if clean else 1
+
+
 def _cmd_list() -> int:
     rows = [
         {
@@ -661,6 +807,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list()
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

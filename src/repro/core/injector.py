@@ -234,4 +234,6 @@ class Injector:
             )
         self.node.gate.on_commit(message)
         self.engine.injecting.discard(message)
+        if self.engine.checker is not None:
+            self.engine.checker.on_commit(message, now)
         self.current = None

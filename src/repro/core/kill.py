@@ -138,12 +138,16 @@ class KillManager:
             # safe to hand to a new worm.
             upstream = self.engine.routers[feeder.src_node]
             upstream.release_output_if(feeder.src_port, buffer.vc, message)
-        buffer.flush_owner(now)
+        dropped = buffer.flush_owner(now)
+        if self.engine.checker is not None and dropped:
+            self.engine.checker.on_flits_reclaimed(dropped)
         self.engine.route_pending.discard(buffer)
 
     def _complete(self, message: "Message", now: int) -> None:
         message.kill_wavefront = None
         engine = self.engine
+        if engine.checker is not None:
+            engine.checker.on_kill_complete(message, now)
         limit = engine.protocol.retry_limit
         if limit is not None and (message.kills + message.fkills) > limit:
             message.phase = MessagePhase.FAILED

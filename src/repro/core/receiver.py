@@ -63,6 +63,8 @@ class Receiver:
         for _, flit, channel in ready:
             channel.return_credit(0, now)
             self._consume(flit, now)
+        if self.engine.checker is not None:
+            self.engine.checker.on_flits_consumed(len(ready))
         self.engine.mark_progress(now)
 
     # ------------------------------------------------------------------

@@ -40,6 +40,9 @@ class Scale:
     # overrides the per-scale default.
     workers: Optional[int] = 1
     cache: bool = False
+    # Arm the repro.verify invariant checker on every run (``cr-sim
+    # experiment --verify``): correctness auditing at ~<10% overhead.
+    verify: bool = False
 
     def sweep_options(self) -> Dict[str, Any]:
         """Keyword arguments experiments forward to the sweep helpers."""
@@ -54,6 +57,7 @@ class Scale:
             drain=self.drain,
             message_length=self.message_length,
             seed=self.seed,
+            verify=self.verify or None,
         )
         return replace(config, **overrides) if overrides else config
 

@@ -122,6 +122,10 @@ class Channel:
         """Schedule a credit to become available after reverse latency."""
         self._pending.append((now + self.latency, vc))
 
+    def pending_credits(self, vc: int) -> int:
+        """Credits in flight back to the sender on ``vc`` (not yet due)."""
+        return sum(1 for _, pending_vc in self._pending if pending_vc == vc)
+
     def tick(self, now: int) -> None:
         """Make due credits available (called at the start of each cycle)."""
         if not self._pending:

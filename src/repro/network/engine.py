@@ -154,6 +154,9 @@ class Engine:
         # untraced runs pay one is-None check per potential emit site.
         self.bus = None
         self.sampler = None
+        # Invariant checking (repro.verify): same guard discipline;
+        # armed by SimConfig(verify=...).
+        self.checker = None
         # Optional application-layer reliability protocol (the software
         # retry baseline); set via SoftwareReliability.attach().
         self.reliability = None
@@ -271,6 +274,8 @@ class Engine:
         self._watchdog_check(now)
         if self.sampler is not None:
             self.sampler.on_cycle(now)
+        if self.checker is not None:
+            self.checker.on_cycle_end(now)
         self.now = now + 1
 
     # ------------------------------------------------------------------

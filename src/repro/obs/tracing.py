@@ -28,6 +28,8 @@ from .sinks import JsonlSink, ListSink, RingBufferSink
 _EXPERIMENT_PRESETS: Dict[str, Dict[str, Any]] = {
     # Latency/throughput reference point: CR at moderate load.
     "e01": {"routing": "cr", "load": 0.3},
+    # Deterministic baseline: dateline DOR at the same load.
+    "e02": {"routing": "dor", "load": 0.3},
     # CR near saturation: kill/backoff dynamics become visible.
     "e03": {"routing": "cr", "load": 0.45},
     # FCR under transient flit corruption.

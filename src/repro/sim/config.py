@@ -11,7 +11,7 @@ phases.  ``build()`` turns it into a live engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
 from ..core.backoff import RetransmitPolicy
 from ..core.padding import PaddingParams
@@ -37,6 +37,9 @@ from ..traffic.generator import TrafficGenerator
 from ..traffic.lengths import FixedLength, LengthDistribution
 from ..traffic.loads import injection_rate
 from ..traffic.patterns import make_pattern
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..verify.invariants import VerifyConfig
 
 #: routing scheme -> (routing function class, interface protocol)
 SCHEMES = {
@@ -120,6 +123,11 @@ class SimConfig:
     # time-series metrics every N cycles; run_simulation() then reports
     # them under "timeseries".
     sample_interval: Optional[int] = None
+    # --- verification --------------------------------------------------
+    # True (or a repro.verify.VerifyConfig) arms the runtime invariant
+    # checker; run_simulation() then reports its counters under
+    # "verify" and raises InvariantViolation on a broken invariant.
+    verify: Union[None, bool, "VerifyConfig"] = None
 
     # ------------------------------------------------------------------
 
@@ -246,6 +254,17 @@ class SimConfig:
             engine.sampler = IntervalSampler(
                 engine, interval=self.sample_interval
             )
+        if self.verify is not None and self.verify is not False:
+            from ..verify import (
+                InvariantChecker,
+                VerifyConfig,
+                apply_mutation,
+            )
+
+            verify_config = VerifyConfig.coerce(self.verify)
+            engine.checker = InvariantChecker(engine, verify_config)
+            if verify_config.mutation is not None:
+                apply_mutation(engine, verify_config.mutation)
         return engine
 
     def _make_fault_model(

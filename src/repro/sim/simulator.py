@@ -64,6 +64,9 @@ def run_simulation(
     if engine.sampler is not None:
         engine.sampler.finalize(engine.now)
         report["timeseries"] = engine.sampler.rows()
+    if engine.checker is not None:
+        engine.checker.on_run_end(drained, engine.now)
+        report["verify"] = engine.checker.summary()
     return SimResult(
         config=config,
         report=report,

@@ -1,0 +1,36 @@
+"""Opt-in runtime protocol-invariant checking (see docs/VERIFICATION.md).
+
+Arm it per run with ``SimConfig(verify=True)`` (or a tuned
+:class:`VerifyConfig`), per command with ``cr-sim run/experiment/campaign
+--verify``, or replay the experiment presets under full checking with
+``cr-sim verify``.  The mutation registry provides the differential
+oracle proving the checkers have teeth.
+"""
+
+from .fuzz import fuzz_config, repro_command, run_fuzz_case
+from .invariants import InvariantChecker, InvariantViolation, VerifyConfig
+from .mutations import (
+    MUTATIONS,
+    Mutation,
+    apply_mutation,
+    mutation_names,
+    register,
+)
+from .runner import VerifyOutcome, verify_preset, verify_presets
+
+__all__ = [
+    "VerifyConfig",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Mutation",
+    "MUTATIONS",
+    "register",
+    "apply_mutation",
+    "mutation_names",
+    "VerifyOutcome",
+    "verify_preset",
+    "verify_presets",
+    "fuzz_config",
+    "run_fuzz_case",
+    "repro_command",
+]

@@ -57,9 +57,11 @@ class TestRun:
         assert "0 point(s) run, 2 resumed" in second.out
         assert "already stored" in second.err
 
-    def test_unknown_name_rejected(self, db):
-        with pytest.raises(SystemExit, match="neither a built-in"):
+    def test_unknown_name_rejected(self, db, capsys):
+        with pytest.raises(SystemExit) as exc:
             cli_main(["campaign", "run", "banana", "--db", db])
+        assert exc.value.code == 2
+        assert "neither a built-in" in capsys.readouterr().err
 
     def test_killed_and_restarted_fault_matrix_resumes(
         self, tiny_builtin_scale, db, monkeypatch, capsys
@@ -151,10 +153,10 @@ class TestStatusAndReport:
         rows = read_csv(str(csv))
         assert rows and "baseline_hashes" in rows[0]
 
-    def test_report_unknown_campaign_rejected(self, db):
+    def test_report_unknown_campaign_rejected(self, db, capsys):
         from repro.campaign import CampaignStore
 
         with CampaignStore(db):
             pass
-        with pytest.raises(SystemExit, match="no stored campaign"):
-            cli_main(["campaign", "report", "a", "b", "--db", db])
+        assert cli_main(["campaign", "report", "a", "b", "--db", db]) == 2
+        assert "no stored campaign" in capsys.readouterr().err

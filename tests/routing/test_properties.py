@@ -1,0 +1,199 @@
+"""Property-based tests of the routing relations (Hypothesis).
+
+The routing functions are pure header policy: (router, message) ->
+candidate (port, VC) pairs.  That makes them ideal property-test
+targets -- for *any* reachable topology/header state the relations must
+produce minimal, in-bounds, progress-making candidates, and the padding
+arithmetic the CR guarantee rests on must be monotone.
+"""
+
+from types import SimpleNamespace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Message
+from repro.core.padding import (
+    PaddingParams,
+    cr_wire_length,
+    fcr_wire_length,
+    path_capacity,
+)
+from repro.routing.dor import DimensionOrder
+from repro.routing.minimal_adaptive import MinimalAdaptive
+from repro.routing.turnmodel import NegativeFirst
+from repro.topology.torus import KAryNCube
+
+
+def _router(node_id: int, num_vcs: int):
+    """The routing relations only read ``node_id`` and ``num_vcs``."""
+    return SimpleNamespace(node_id=node_id, num_vcs=num_vcs)
+
+
+@st.composite
+def torus_case(draw, wrap=None):
+    """A k-ary n-cube plus a (here, dst) pair with hops remaining."""
+    radix = draw(st.integers(3, 5))
+    dims = draw(st.integers(1, 3))
+    if wrap is None:
+        wrap = draw(st.booleans())
+    topo = KAryNCube(radix, dims, wrap=wrap)
+    here = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(
+        st.integers(0, topo.num_nodes - 1).filter(lambda n: n != here)
+    )
+    return topo, here, dst
+
+
+class TestDimensionOrderProperties:
+    @given(torus_case(), st.integers(2, 4), st.integers(0, 1 << 16))
+    @settings(max_examples=200)
+    def test_single_minimal_in_bounds_candidate(self, case, num_vcs, lane):
+        """DOR is deterministic: one candidate, on a minimal link, on a
+        legal VC for every header state."""
+        topo, here, dst = case
+        routing = DimensionOrder(topo)
+        message = Message(here, dst, 4)
+        message.lane = lane
+        tiers = routing.candidates(_router(here, num_vcs), message)
+        assert len(tiers) == 1 and len(tiers[0]) == 1
+        candidate = tiers[0][0]
+        link = topo.dor_link(here, dst)
+        assert candidate.port == link.port
+        assert 0 <= candidate.vc < num_vcs
+        # The deterministic choice makes progress.
+        assert (
+            topo.min_distance(link.dst, dst)
+            == topo.min_distance(here, dst) - 1
+        )
+
+    @given(torus_case(wrap=True), st.integers(0, 1 << 16))
+    @settings(max_examples=200)
+    def test_dateline_class_splits_vc_parity(self, case, lane):
+        """On a wrap torus the dateline scheme maps the low class to
+        even VCs and the high class to odd VCs of the chosen lane."""
+        topo, here, dst = case
+        routing = DimensionOrder(topo)
+        message = Message(here, dst, 4)
+        message.lane = lane
+        link = topo.dor_link(here, dst)
+        # Fresh header: low class regardless of lane.
+        tiers = routing.candidates(_router(here, 4), message)
+        assert tiers[0][0].vc % 2 == 0
+        # After crossing this dimension's dateline: high class.
+        message.dor_dim = link.dim
+        message.dateline_bit = 1
+        tiers = routing.candidates(_router(here, 4), message)
+        assert tiers[0][0].vc % 2 == 1
+
+
+class TestMinimalAdaptiveProperties:
+    @given(torus_case(), st.integers(1, 3))
+    @settings(max_examples=200)
+    def test_candidates_are_exactly_productive_links(
+        self, case, num_vcs
+    ):
+        """The relation admits every productive link on every VC, and
+        nothing else."""
+        topo, here, dst = case
+        routing = MinimalAdaptive(topo)
+        tiers = routing.candidates(
+            _router(here, num_vcs), Message(here, dst, 4)
+        )
+        assert len(tiers) == 1
+        got = {(c.port, c.vc) for c in tiers[0]}
+        want = {
+            (link.port, vc)
+            for link in topo.productive_links(here, dst)
+            for vc in range(num_vcs)
+        }
+        assert got == want
+        assert got, "a header short of its destination can always move"
+
+    @given(torus_case(), st.integers(1, 3))
+    @settings(max_examples=200)
+    def test_every_candidate_makes_progress(self, case, num_vcs):
+        topo, here, dst = case
+        routing = MinimalAdaptive(topo)
+        by_port = {link.port: link for link in topo.links(here)}
+        distance = topo.min_distance(here, dst)
+        for candidate in routing.candidates(
+            _router(here, num_vcs), Message(here, dst, 4)
+        )[0]:
+            link = by_port[candidate.port]
+            assert topo.min_distance(link.dst, dst) == distance - 1
+
+
+class TestNegativeFirstProperties:
+    @given(torus_case(wrap=False), st.integers(1, 2))
+    @settings(max_examples=200)
+    def test_no_forbidden_turn(self, case, num_vcs):
+        """While any negative productive hop remains, every candidate
+        is negative (the turn the model forbids never appears)."""
+        topo, here, dst = case
+        routing = NegativeFirst(topo)
+        by_port = {link.port: link for link in topo.links(here)}
+        productive = topo.productive_links(here, dst)
+        has_negative = any(link.direction < 0 for link in productive)
+        tier = routing.candidates(
+            _router(here, num_vcs), Message(here, dst, 4)
+        )[0]
+        assert tier, "the turn model is connected on meshes"
+        for candidate in tier:
+            link = by_port[candidate.port]
+            assert link in productive
+            if has_negative:
+                assert link.direction < 0
+
+
+@st.composite
+def padding_case(draw):
+    params = PaddingParams(
+        buffer_depth=draw(st.integers(1, 4)),
+        channel_latency=draw(st.integers(1, 3)),
+        eject_slots=draw(st.integers(1, 4)),
+        slack=draw(st.integers(1, 8)),
+    )
+    payload = draw(st.integers(1, 64))
+    hops = draw(st.integers(1, 32))
+    return params, payload, hops
+
+
+class TestPaddingProperties:
+    @given(padding_case())
+    @settings(max_examples=200)
+    def test_imin_never_below_message_length(self, case):
+        params, payload, hops = case
+        assert cr_wire_length(payload, hops, params) >= payload
+        assert fcr_wire_length(payload, hops, params) >= payload
+
+    @given(padding_case())
+    @settings(max_examples=200)
+    def test_imin_monotone_in_distance(self, case):
+        """A longer minimal path never shrinks the padded length (the
+        padding lemma is a lower bound over the whole path)."""
+        params, payload, hops = case
+        assert cr_wire_length(payload, hops + 1, params) >= cr_wire_length(
+            payload, hops, params
+        )
+        assert fcr_wire_length(
+            payload, hops + 1, params
+        ) >= fcr_wire_length(payload, hops, params)
+
+    @given(padding_case())
+    @settings(max_examples=200)
+    def test_cr_covers_path_capacity(self, case):
+        """The committed worm occupies strictly more flits than the
+        path can hold -- the pigeonhole the delivery guarantee needs."""
+        params, payload, hops = case
+        assert cr_wire_length(payload, hops, params) > path_capacity(
+            hops, params
+        )
+
+    @given(padding_case())
+    @settings(max_examples=200)
+    def test_fcr_at_least_cr(self, case):
+        params, payload, hops = case
+        assert fcr_wire_length(payload, hops, params) >= cr_wire_length(
+            payload, hops, params
+        )

@@ -160,3 +160,78 @@ class TestExperimentCommand:
             ["experiment", "t01", "--workers", "2", "--no-cache"]
         ) == 0
         assert "interface" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_list_shows_presets_and_mutations(self, capsys):
+        assert cli_main(["verify", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out
+        assert "credit-loss" in out
+        assert "kill-protocol" in out
+
+    def test_clean_preset_passes(self, capsys):
+        assert cli_main(["verify", "e01", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "pass   e01" in out
+        assert "all invariants hold" in out
+
+    def test_mutated_preset_is_caught(self, capsys):
+        assert cli_main(
+            ["verify", "e01", "--quick", "--mutation", "credit-loss"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CAUGHT e01" in out
+        assert "caught in 1/1" in out
+
+    def test_unknown_preset_exits_2(self, capsys):
+        assert cli_main(["verify", "e99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "e01" in err
+
+    def test_unknown_mutation_exits_2(self, capsys):
+        assert cli_main(["verify", "e01", "--mutation", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown mutation" in err
+        assert "credit-loss" in err
+
+
+class TestUsageExitCodes:
+    """Consistency pin: misuse exits 2 with a message on stderr.
+
+    argparse gives unknown flags exit 2 for free; the subcommands that
+    validate names themselves (trace/verify presets, campaign names)
+    must follow the same convention rather than exiting 1.
+    """
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "--bogus-flag"],
+        ["experiment", "t01", "--bogus-flag"],
+        ["trace", "--bogus-flag"],
+        ["campaign", "run", "fault-matrix", "--bogus-flag"],
+        ["verify", "--bogus-flag"],
+    ])
+    def test_unknown_flag_exits_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(argv)
+        assert exc.value.code == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_unknown_campaign_name_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["campaign", "run", "no-such-campaign"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "neither a built-in campaign" in err
+
+    def test_unknown_report_campaign_exits_2(self, tmp_path, capsys):
+        db = str(tmp_path / "empty.db")
+        assert cli_main(
+            ["campaign", "report", "missing-a", "missing-b", "--db", db]
+        ) == 2
+        assert "no stored campaign" in capsys.readouterr().err
+
+    def test_trace_unknown_preset_exits_2(self, capsys):
+        assert cli_main(["trace", "e99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
