@@ -25,6 +25,8 @@ discipline.
 import dataclasses
 import time
 
+from overhead_log import record_overhead
+
 from repro import SimConfig
 from repro.obs import attach
 from repro.obs.events import EventBus
@@ -96,6 +98,14 @@ def test_no_sink_overhead_under_budget(benchmark):
     print(f"\nobs overhead: plain run {plain * 1000:.1f}ms, "
           f"construct+emit {len(pairs)} events {emit * 1000:.2f}ms "
           f"({overhead * 100:.2f}%)")
+    record_overhead(
+        "obs", overhead, OVERHEAD_BUDGET,
+        detail={
+            "plain_ms": round(plain * 1000, 3),
+            "emit_ms": round(emit * 1000, 3),
+            "events": len(pairs),
+        },
+    )
     assert overhead < OVERHEAD_BUDGET, (
         f"instrumentation cost {overhead:.1%} of run wall time exceeds "
         f"the {OVERHEAD_BUDGET:.0%} budget for the no-sink path"

@@ -1,0 +1,92 @@
+"""Profiler overhead: armed must stay cheap, off must stay free.
+
+The engine self-profiler follows the strictest form of the repo's
+guard discipline: ``Engine.step`` performs exactly one
+``self.profiler is not None`` test and, when it is None, falls through
+to the original un-instrumented body -- the profiled variant lives in
+a separate ``_step_profiled`` method, so the off path contains no
+timer calls at all.  This benchmark bounds the armed side on an
+e01-style run (CR, 8-ary 2-torus, moderate load):
+
+* **disabled**: building without ``profile`` leaves
+  ``engine.profiler is None`` -- the unprofiled run *is* the plain run
+  (one guard check per step);
+* **enabled**: the armed run brackets every phase with
+  ``perf_counter_ns``; end-to-end min-of-N against the plain run the
+  slowdown must stay under ``OVERHEAD_BUDGET`` (< 5%, the ISSUE 5
+  acceptance bound).
+
+The measured figure is recorded into the shared
+``results/overhead.json`` ledger next to the observability and
+verification numbers.
+"""
+
+import time
+
+from overhead_log import record_overhead
+
+from repro import SimConfig
+
+CYCLES = 800
+ROUNDS = 5
+#: maximum tolerated end-to-end slowdown with the profiler armed.
+OVERHEAD_BUDGET = 0.05
+
+
+def _config(profile):
+    return SimConfig(
+        radix=8, dims=2, routing="cr", load=0.3, message_length=16,
+        warmup=0, measure=CYCLES, seed=99, profile=profile,
+    )
+
+
+def _timed_run(profile):
+    engine = _config(profile).build()
+    if profile:
+        assert engine.profiler is not None
+    else:
+        assert engine.profiler is None  # the default: unprofiled
+    start = time.perf_counter()
+    engine.run(CYCLES)
+    return time.perf_counter() - start, engine
+
+
+def test_profile_overhead_under_budget(benchmark):
+    plain_times, profiled_times = [], []
+    profiler = None
+    for _ in range(ROUNDS):
+        elapsed, engine = _timed_run(False)
+        plain_times.append(elapsed)
+        delivered = engine.stats.counters["messages_delivered"]
+        elapsed, engine = _timed_run(True)
+        profiled_times.append(elapsed)
+        profiler = engine.profiler
+    assert delivered > 100  # the run actually simulated traffic
+
+    # The attribution itself must be sane: every cycle was bracketed
+    # and the per-phase wall times cannot exceed the whole-step time
+    # (the bracketing overhead lands in the gap, never the phases).
+    assert profiler.cycles == CYCLES
+    assert profiler.phases["routing"].calls == CYCLES
+    assert 0 < profiler.phase_wall_ns() <= profiler.step_wall_ns
+
+    # Report the armed path in the benchmark table.
+    benchmark.pedantic(_timed_run, args=(True,), rounds=1, iterations=1)
+
+    plain, profiled = min(plain_times), min(profiled_times)
+    overhead = max(0.0, profiled / plain - 1.0)
+    print(f"\nprofile overhead: plain run {plain * 1000:.1f}ms, "
+          f"profiled run {profiled * 1000:.1f}ms "
+          f"({overhead * 100:.2f}%)")
+    record_overhead(
+        "profile", overhead, OVERHEAD_BUDGET,
+        detail={
+            "plain_ms": round(plain * 1000, 3),
+            "profiled_ms": round(profiled * 1000, 3),
+            "cycles": CYCLES,
+        },
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        f"profiler cost {overhead:.1%} of run wall time exceeds the "
+        f"{OVERHEAD_BUDGET:.0%} budget"
+    )

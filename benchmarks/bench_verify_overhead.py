@@ -17,6 +17,8 @@ e01-style run (CR, 8-ary 2-torus, moderate load):
 
 import time
 
+from overhead_log import record_overhead
+
 from repro import SimConfig, VerifyConfig
 
 CYCLES = 800
@@ -67,6 +69,14 @@ def test_verify_overhead_under_budget(benchmark):
     print(f"\nverify overhead: plain run {plain * 1000:.1f}ms, "
           f"verified run {checked * 1000:.1f}ms "
           f"({checks} sweeps, {overhead * 100:.2f}%)")
+    record_overhead(
+        "verify", overhead, OVERHEAD_BUDGET,
+        detail={
+            "plain_ms": round(plain * 1000, 3),
+            "verified_ms": round(checked * 1000, 3),
+            "checks": checks,
+        },
+    )
     assert overhead < OVERHEAD_BUDGET, (
         f"invariant checking cost {overhead:.1%} of run wall time "
         f"exceeds the {OVERHEAD_BUDGET:.0%} budget"

@@ -79,13 +79,16 @@ from .sim.replicate import (
     summarize_samples,
 )
 from .campaign import (
+    CampaignMonitor,
     CampaignPoint,
     CampaignRunStats,
     CampaignSpec,
     CampaignStore,
     compare_campaigns,
     get_campaign,
+    read_status,
     render_markdown,
+    render_status,
     run_campaign,
 )
 from .sim.sweep import (
@@ -108,15 +111,19 @@ from .analysis.latency_model import (
 )
 from .obs import (
     DeadlockReport,
+    EngineProfiler,
     EventBus,
     IntervalSampler,
     JsonlSink,
     ListSink,
+    MetricsRegistry,
     RingBufferSink,
     TracedRun,
     attach,
     config_for_experiment,
     detach,
+    engine_metrics,
+    parse_prometheus_text,
     read_jsonl,
     run_traced,
     write_chrome_trace,
@@ -162,7 +169,7 @@ from .traffic.patterns import (
     make_pattern,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # simulation entry points
@@ -189,9 +196,12 @@ __all__ = [
     "CampaignPoint",
     "CampaignStore",
     "CampaignRunStats",
+    "CampaignMonitor",
     "run_campaign",
     "compare_campaigns",
     "render_markdown",
+    "render_status",
+    "read_status",
     "get_campaign",
     "rows_to_csv",
     "read_csv",
@@ -303,6 +313,10 @@ __all__ = [
     "config_for_experiment",
     "read_jsonl",
     "write_chrome_trace",
+    "EngineProfiler",
+    "MetricsRegistry",
+    "engine_metrics",
+    "parse_prometheus_text",
     # verification (see repro.verify for the full surface)
     "InvariantChecker",
     "InvariantViolation",

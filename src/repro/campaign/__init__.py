@@ -12,6 +12,9 @@ The layer between one-off sweeps and paper-scale evaluation:
   resumable execution on top of :mod:`repro.sim.parallel`.
 * :mod:`~repro.campaign.report` — cross-campaign regression reports
   (markdown/CSV) using the replication significance machinery.
+* :mod:`~repro.campaign.monitor` — a live atomic ``status.json``
+  heartbeat written while a campaign runs, rendered by
+  ``cr-sim campaign watch``.
 * :mod:`~repro.campaign.library` — built-in campaigns
   (``fault-matrix``, ``paper-core``).
 
@@ -26,6 +29,13 @@ Quick start::
 """
 
 from .library import BUILTIN_CAMPAIGNS, campaign_names, get_campaign
+from .monitor import (
+    CampaignMonitor,
+    read_status,
+    render_status,
+    status_path,
+    write_status,
+)
 from .report import (
     aggregate_scenarios,
     campaign_markdown,
@@ -59,4 +69,9 @@ __all__ = [
     "BUILTIN_CAMPAIGNS",
     "campaign_names",
     "get_campaign",
+    "CampaignMonitor",
+    "read_status",
+    "render_status",
+    "status_path",
+    "write_status",
 ]

@@ -1,0 +1,295 @@
+"""Live campaign monitoring: an atomic ``status.json`` heartbeat.
+
+While :func:`repro.campaign.run_campaign` executes, a
+:class:`CampaignMonitor` periodically writes a small JSON heartbeat
+next to the campaign database (``<spec-name>.status.json`` beside
+``results/campaigns.sqlite``): points done/total, an ETA from the
+rolling window of recent point wall-times, the grid coordinates of the
+last settled point, and kill/retransmit rates published through a
+:class:`repro.obs.metrics.MetricsRegistry`.
+
+Writes are atomic (write temp + ``os.replace``), so a reader never
+sees a torn file and a killed campaign leaves the last consistent
+heartbeat behind; resuming the campaign picks the heartbeat back up
+(skipped points count as done).  ``cr-sim campaign watch <name>``
+renders the file as a refreshing terminal view — it only ever *reads*
+``status.json`` and never touches the SQLite write paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..obs.metrics import WALL_TIME_BUCKETS, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .spec import CampaignPoint
+
+#: unicode block ramp for terminal sparklines.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: how many recent point wall-times the ETA window and sparklines keep.
+ROLLING_WINDOW = 32
+
+
+def status_path(store_path: str, name: str) -> Optional[str]:
+    """Where the heartbeat for campaign ``name`` lives, given the DB path.
+
+    Returns None for in-memory stores (``:memory:``): there is no
+    directory to anchor the heartbeat to, so monitoring is off unless
+    an explicit path is supplied.
+    """
+    if store_path == ":memory:":
+        return None
+    parent = os.path.dirname(str(store_path)) or "."
+    return os.path.join(parent, f"{name}.status.json")
+
+
+def write_status(path: str, status: Dict[str, Any]) -> None:
+    """Atomically write ``status`` as JSON to ``path`` (temp + rename)."""
+    parent = os.path.dirname(str(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(status, handle, indent=2, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def read_status(path: str) -> Dict[str, Any]:
+    """Read a heartbeat; raises FileNotFoundError if none exists yet."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class CampaignMonitor:
+    """Accumulates campaign progress and writes the heartbeat file.
+
+    ``interval`` throttles writes (seconds of wall time between
+    heartbeats); the first and last updates always write.  The monitor
+    publishes its counters into a :class:`MetricsRegistry` whose JSON
+    snapshot is embedded in the heartbeat under ``"metrics"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        total: int,
+        path: str,
+        interval: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.name = name
+        self.total = total
+        self.path = path
+        self.interval = interval
+        self._clock = clock
+        self._started = clock()
+        self._last_write: Optional[float] = None
+        self.registry = MetricsRegistry(prefix="cr_campaign_")
+        self._outcomes = {
+            outcome: self.registry.counter(
+                "points_total", "Campaign points settled, by outcome.",
+                labels={"outcome": outcome},
+            )
+            for outcome in ("ok", "failed", "skipped")
+        }
+        self._wall_hist = self.registry.histogram(
+            "point_wall_seconds", "Wall time per simulated point.",
+            buckets=WALL_TIME_BUCKETS,
+        )
+        self._kills = self.registry.counter(
+            "kills_total", "Kill wavefronts across simulated points.")
+        self._retransmissions = self.registry.counter(
+            "retransmissions_total",
+            "Retransmission attempts across simulated points.")
+        self._delivered = self.registry.counter(
+            "messages_delivered_total",
+            "Messages delivered across simulated points.")
+        self.done = 0
+        self._recent_wall: deque = deque(maxlen=ROLLING_WINDOW)
+        self._recent_kill_rate: deque = deque(maxlen=ROLLING_WINDOW)
+        self._last_point: Optional[Dict[str, Any]] = None
+
+    # -- updates (called from run_campaign's journal path) --------------
+
+    def on_point(
+        self,
+        point: "CampaignPoint",
+        outcome: str,
+        elapsed: float,
+        report: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one settled point and maybe write the heartbeat.
+
+        Failed points don't advance ``done`` (they may be retried);
+        their outcome still lands in the counters and ``last_point``.
+        """
+        if outcome in ("ok", "skipped"):
+            self.done += 1
+        counter = self._outcomes.get(outcome)
+        if counter is not None:
+            counter.inc()
+        if outcome == "ok":
+            self._wall_hist.observe(elapsed)
+            self._recent_wall.append(elapsed)
+        if report is not None:
+            self._kills.inc(float(report.get("kills", 0) or 0))
+            self._retransmissions.inc(
+                float(report.get("retransmissions", 0) or 0))
+            self._delivered.inc(
+                float(report.get("messages_delivered", 0) or 0))
+            self._recent_kill_rate.append(
+                float(report.get("kill_rate", 0.0) or 0.0))
+        self._last_point = {
+            "point_id": point.point_id,
+            "grid": point.grid,
+            "scenario": dict(point.scenario),
+            "replication": point.replication,
+            "outcome": outcome,
+            "elapsed": elapsed,
+        }
+        now = self._clock()
+        if (self._last_write is None
+                or (now - self._last_write) >= self.interval
+                or self.done >= self.total):
+            self._write("running", now)
+
+    def finalize(self) -> None:
+        """Write the terminal heartbeat (state "finished")."""
+        self._write("finished", self._clock())
+
+    # -- heartbeat assembly ---------------------------------------------
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining-time estimate from the rolling wall-time window."""
+        remaining = self.total - self.done
+        if remaining <= 0:
+            return 0.0
+        if not self._recent_wall:
+            return None
+        mean = sum(self._recent_wall) / len(self._recent_wall)
+        return mean * remaining
+
+    def snapshot(self, state: str = "running") -> Dict[str, Any]:
+        delivered = self._delivered.value
+        return {
+            "name": self.name,
+            "state": state,
+            "updated_at": time.time(),
+            "elapsed_seconds": self._clock() - self._started,
+            "done": self.done,
+            "total": self.total,
+            "eta_seconds": self.eta_seconds(),
+            "last_point": self._last_point,
+            "rates": {
+                "kills_per_delivered": (
+                    self._kills.value / delivered if delivered else 0.0),
+                "retransmissions_per_delivered": (
+                    self._retransmissions.value / delivered
+                    if delivered else 0.0),
+            },
+            "recent_wall_seconds": list(self._recent_wall),
+            "recent_kill_rates": list(self._recent_kill_rate),
+            "metrics": self.registry.snapshot(),
+        }
+
+    def _write(self, state: str, now: float) -> None:
+        write_status(self.path, self.snapshot(state))
+        self._last_write = now
+
+
+# ----------------------------------------------------------------------
+# Rendering (pure functions over a heartbeat dict — no SQLite access)
+# ----------------------------------------------------------------------
+
+def text_sparkline(values: List[float], width: int = 32) -> str:
+    """A unicode block sparkline of ``values`` (most recent last)."""
+    cleaned = [float(v) for v in values if v is not None][-width:]
+    if not cleaned:
+        return ""
+    lo, hi = min(cleaned), max(cleaned)
+    span = hi - lo
+    ramp = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[int(round(((v - lo) / span if span else 0.5) * ramp))]
+        for v in cleaned
+    )
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def render_status(status: Dict[str, Any], width: int = 72) -> str:
+    """The heartbeat as a terminal block (pure; reads only the dict)."""
+    done = int(status.get("done", 0))
+    total = int(status.get("total", 0)) or 1
+    frac = min(1.0, done / total)
+    bar_width = max(10, width - 30)
+    filled = int(round(frac * bar_width))
+    bar = "#" * filled + "-" * (bar_width - filled)
+    lines = [
+        f"campaign {status.get('name', '?')} [{status.get('state', '?')}]",
+        f"  [{bar}] {done}/{total} ({100 * frac:.0f}%)",
+        f"  elapsed {_fmt_duration(status.get('elapsed_seconds'))}"
+        f"   eta {_fmt_duration(status.get('eta_seconds'))}",
+    ]
+    last = status.get("last_point")
+    if last:
+        coords = ",".join(
+            f"{key}={value}" for key, value in sorted(
+                (last.get("scenario") or {}).items())
+        )
+        lines.append(
+            f"  last point: {last.get('point_id', '?')}"
+            f" [{last.get('outcome', '?')}"
+            f" {last.get('elapsed', 0.0):.2f}s]"
+            + (f" {coords}" if coords else "")
+        )
+    rates = status.get("rates") or {}
+    lines.append(
+        f"  kills/delivered {rates.get('kills_per_delivered', 0.0):.4f}"
+        f"   retx/delivered "
+        f"{rates.get('retransmissions_per_delivered', 0.0):.4f}"
+    )
+    walls = status.get("recent_wall_seconds") or []
+    kills = status.get("recent_kill_rates") or []
+    if walls:
+        lines.append(
+            f"  point wall s  {text_sparkline(walls)}"
+            f"  (last {walls[-1]:.2f}s)"
+        )
+    if kills:
+        lines.append(
+            f"  kill rate     {text_sparkline(kills)}"
+            f"  (last {kills[-1]:.3f})"
+        )
+    return "\n".join(lines)
+
+
+def status_svg(status: Dict[str, Any]) -> str:
+    """The heartbeat's rolling series as SVG sparklines."""
+    from ..stats.svg import render_sparkline_rows
+
+    rows = [
+        ("point wall s",
+         [float(v) for v in status.get("recent_wall_seconds") or []]),
+        ("kill rate",
+         [float(v) for v in status.get("recent_kill_rates") or []]),
+    ]
+    name = status.get("name", "campaign")
+    return render_sparkline_rows(rows, title=f"{name} — live heartbeat")

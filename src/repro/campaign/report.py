@@ -69,6 +69,12 @@ def aggregate_scenarios(
             "hashes": sorted({str(p["config_hash"]) for p in points}),
             "versions": sorted({p["repro_version"] for p in points}),
             "n": len(points),
+            # Journaled provenance, surfaced: mean wall seconds per
+            # point across this scenario's replications.
+            "wall_time_mean": (
+                sum(float(p.get("wall_time") or 0.0) for p in points)
+                / len(points)
+            ),
         }
     return out
 
@@ -220,7 +226,11 @@ def saturation_onset(
     latency sample landed outside the measurement window).
     """
     values = [
-        (sample["end"], float(sample.get(metric, 0.0)))
+        # Undefined interval values (e.g. latency of an empty window)
+        # count as "no signal", the same as 0.
+        (sample["end"],
+         float(sample.get(metric) if sample.get(metric) is not None
+               else 0.0))
         for sample in series
     ]
     positive = [value for _, value in values if value > 0]
@@ -246,8 +256,9 @@ def campaign_markdown(store: CampaignStore, campaign: str,
         f"{summary['wall_time']:.1f}s simulated, "
         f"{summary['versions']} library version(s).",
         "",
-        "| scenario | " + " | ".join(metrics) + " | n | provenance |",
-        "|---" * (len(metrics) + 3) + "|",
+        "| scenario | " + " | ".join(metrics)
+        + " | wall s/point | n | provenance |",
+        "|---" * (len(metrics) + 4) + "|",
     ]
     for key in sorted(aggregated, key=_label):
         entry = aggregated[key]
@@ -263,7 +274,8 @@ def campaign_markdown(store: CampaignStore, campaign: str,
                 f"@{'+'.join(entry['versions'])}")
         lines.append(
             f"| {_label(key)} | " + " | ".join(cells)
-            + f" | {entry['n']} | {prov} |"
+            + f" | {_fmt(entry['wall_time_mean'])} | {entry['n']} "
+            f"| {prov} |"
         )
     failed = store.rows(campaign, status="failed")
     if failed:
@@ -289,7 +301,11 @@ def campaign_markdown(store: CampaignStore, campaign: str,
         ]
         for point_id in sorted(series_by_point):
             series = series_by_point[point_id]
-            peak_latency = max(s["latency_mean"] for s in series)
+            peak_latency = max(
+                (s["latency_mean"] if s.get("latency_mean") is not None
+                 else 0.0)
+                for s in series
+            )
             peak_occupancy = max(s["occupancy"] for s in series)
             onset = saturation_onset(series)
             lines.append(

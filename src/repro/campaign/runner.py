@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..sim.parallel import CacheSpec, PointFailure, run_reports
+from .monitor import CampaignMonitor, status_path
 from .spec import CampaignPoint, CampaignSpec
 from .store import CampaignStore
 
@@ -70,6 +71,8 @@ def run_campaign(
     backoff_cap: float = 5.0,
     progress: Optional[CampaignProgress] = None,
     verify: bool = False,
+    heartbeat: Optional[float] = 1.0,
+    heartbeat_path: Optional[str] = None,
 ) -> CampaignRunStats:
     """Execute (or resume) a campaign; every outcome lands in ``store``.
 
@@ -81,6 +84,12 @@ def run_campaign(
     point.  The verify flag changes each point's config hash, so a
     campaign first run unverified re-runs (rather than resumes) its
     points under checking.
+
+    ``heartbeat`` (seconds between writes; None disables) keeps an
+    atomic ``<name>.status.json`` live next to the store for
+    ``cr-sim campaign watch``; ``heartbeat_path`` overrides its
+    location (required for in-memory stores, which otherwise skip the
+    heartbeat).
     """
     store.register(spec)
     points = list(spec.points())
@@ -94,6 +103,14 @@ def run_campaign(
     stats = CampaignRunStats(total=len(points))
     done_hashes = store.completed(spec.name)
 
+    monitor: Optional[CampaignMonitor] = None
+    if heartbeat is not None:
+        target = heartbeat_path or status_path(store.path, spec.name)
+        if target is not None:
+            monitor = CampaignMonitor(
+                spec.name, len(points), target, interval=heartbeat
+            )
+
     from ..sim.parallel import config_cache_key
 
     pending: List[CampaignPoint] = []
@@ -105,6 +122,8 @@ def run_campaign(
         ):
             stats.skipped += 1
             settled[0] += 1
+            if monitor is not None:
+                monitor.on_point(point, "skipped", 0.0)
             if progress is not None:
                 progress(CampaignPointStatus(
                     point.point_id, "skipped", 0.0, settled[0],
@@ -128,6 +147,8 @@ def run_campaign(
                     spec.name, point, report.error, elapsed,
                     attempts=attempt,
                 )
+                if monitor is not None:
+                    monitor.on_point(point, "failed", elapsed)
                 outcome = "failed"
             else:
                 store.record_success(
@@ -141,6 +162,14 @@ def run_campaign(
                           if isinstance(report, dict) else None)
                 if series:
                     store.record_timeseries(spec.name, point, series)
+                if monitor is not None:
+                    # The journal sees the full report (pre-_project),
+                    # so the heartbeat's kill/retransmit rates come
+                    # from counters the stored row may not keep.
+                    monitor.on_point(
+                        point, "ok", elapsed,
+                        report if isinstance(report, dict) else None,
+                    )
                 stats.ran += 1
                 settled[0] += 1
                 stats.wall_time += elapsed
@@ -170,6 +199,8 @@ def run_campaign(
         pending = failed_now
         attempt += 1
 
+    if monitor is not None:
+        monitor.finalize()
     return stats
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .experiments import PAPER, QUICK, REGISTRY
 from .sim.config import SCHEMES, SimConfig
@@ -59,6 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="arm the runtime protocol-invariant checker "
              "(see docs/VERIFICATION.md)",
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="arm the engine self-profiler and print the per-phase "
+             "hotspot table (see docs/OBSERVABILITY.md)",
     )
 
     exp_p = sub.add_parser("experiment", help="reproduce a table/figure")
@@ -171,6 +176,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write sparklines of the sampled series (needs "
              "--sample-interval)",
     )
+    trace_p.add_argument(
+        "--profile", nargs="?", const=100, type=int, default=None,
+        metavar="CYCLES",
+        help="arm the engine self-profiler; snapshots every CYCLES "
+             "cycles (default 100) merge a per-phase wall-time counter "
+             "track into the Perfetto export",
+    )
+    trace_p.add_argument(
+        "--hotspot", nargs="?", const="auto", default=None,
+        metavar="PATH",
+        help="write the profiler hotspot report as markdown (needs "
+             "--profile; default path: results/traces/<name>.hotspot.md)",
+    )
+    trace_p.add_argument(
+        "--prom", nargs="?", const="auto", default=None, metavar="PATH",
+        help="write the run's metrics registry in Prometheus text "
+             "format (default path: results/traces/<name>.prom.txt)",
+    )
 
     sub.add_parser("list", help="list available experiments")
 
@@ -223,6 +246,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cstat_p.add_argument("name", nargs="?", default=None)
     add_db(cstat_p)
+
+    cwatch_p = camp_sub.add_parser(
+        "watch",
+        help="live view of a running campaign from its status.json "
+             "heartbeat (never touches the database)",
+    )
+    cwatch_p.add_argument("name", help="campaign name")
+    add_db(cwatch_p)
+    cwatch_p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default: %(default)s)",
+    )
+    cwatch_p.add_argument(
+        "--once", action="store_true",
+        help="print the current status once and exit",
+    )
+    cwatch_p.add_argument(
+        "--status-file", default=None, metavar="PATH",
+        help="heartbeat file (default: <db dir>/<name>.status.json)",
+    )
+    cwatch_p.add_argument(
+        "--svg", default=None, metavar="PATH",
+        help="also write the heartbeat's rolling series as SVG "
+             "sparklines",
+    )
 
     crep_p = camp_sub.add_parser(
         "report", help="markdown regression report: baseline vs candidate"
@@ -302,13 +350,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         drain=args.drain,
         seed=args.seed,
         verify=args.verify or None,
+        profile=args.profile,
     )
-    result = run_simulation(config)
+    result = run_simulation(config, keep_engine=args.profile)
     verify_summary = result.report.get("verify")
     rows = [
         {"metric": key, "value": value}
         for key, value in sorted(result.report.items())
-        if key != "verify"
+        if key not in ("verify", "profile")
     ]
     print(
         format_table(
@@ -327,6 +376,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 for key, value in sorted(verify_summary.items())
             )
         )
+    if args.profile and result.engine is not None:
+        profiler = result.engine.profiler
+        print()
+        print(format_table(
+            profiler.hotspot_rows(),
+            ["phase", "calls", "wall_ms", "share_pct", "mean_us",
+             "max_us"],
+            title=f"engine phase hotspots ({profiler.cycles} cycles, "
+                  f"{profiler.step_wall_ns / 1e6:.1f} ms)",
+        ))
     return 0
 
 
@@ -447,6 +506,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         title = f"{args.routing} / {args.pattern} / load {args.load}"
 
+    if args.hotspot is not None and args.profile is None:
+        print("cr-sim trace: --hotspot needs --profile", file=sys.stderr)
+        return 2
+
     traced = run_traced(
         config,
         jsonl_path=_trace_artifact_path(args.jsonl, name, ".jsonl"),
@@ -455,6 +518,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         ),
         sample_interval=args.sample_interval,
         keep_engine=True,
+        profile=args.profile if args.profile is not None else False,
     )
     engine = traced.result.engine
     print(f"{title} on {engine.topology.name}, t={engine.now}\n")
@@ -516,6 +580,38 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if traced.perfetto_path:
         print(f"wrote {traced.perfetto_entries} trace entries to "
               f"{traced.perfetto_path} (load at ui.perfetto.dev)")
+
+    profiler = traced.profiler
+    if profiler is not None:
+        print()
+        print(
+            format_table(
+                profiler.hotspot_rows(),
+                ["phase", "calls", "wall_ms", "share_pct", "mean_us",
+                 "max_us"],
+                title=f"engine phase hotspots ({profiler.cycles} cycles, "
+                      f"{profiler.step_wall_ns / 1e6:.1f} ms)",
+            )
+        )
+        hotspot_path = _trace_artifact_path(args.hotspot, name,
+                                            ".hotspot.md")
+        if hotspot_path:
+            import os
+
+            os.makedirs(os.path.dirname(hotspot_path) or ".",
+                        exist_ok=True)
+            with open(hotspot_path, "w") as handle:
+                handle.write(profiler.hotspot_markdown())
+            print(f"\nwrote hotspot report to {hotspot_path}")
+    prom_path = _trace_artifact_path(args.prom, name, ".prom.txt")
+    if prom_path:
+        from .obs import engine_metrics
+
+        registry = engine_metrics(engine)
+        registry.write_prometheus(prom_path)
+        print(f"wrote {len(registry.names())} metric families to "
+              f"{prom_path}")
+
     if args.svg:
         from .stats.svg import render_network_svg
 
@@ -683,6 +779,66 @@ def _cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from .campaign import read_status, render_status, status_path
+    from .campaign.monitor import status_svg
+
+    path = args.status_file or status_path(args.db, args.name)
+    if path is None:
+        print(
+            "cr-sim campaign watch: in-memory stores have no status "
+            "file; pass --status-file",
+            file=sys.stderr,
+        )
+        return 2
+
+    def render_once() -> Optional[Dict[str, Any]]:
+        if not os.path.exists(path):
+            return None
+        status = read_status(path)
+        print(render_status(status))
+        if args.svg:
+            with open(args.svg, "w", encoding="utf-8") as handle:
+                handle.write(status_svg(status))
+        return status
+
+    if args.once:
+        status = render_once()
+        if status is None:
+            print(
+                f"cr-sim campaign watch: no status file at {path} "
+                f"(is the campaign running with a heartbeat?)",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
+
+    waited = 0.0
+    try:
+        while True:
+            status = render_once()
+            if status is None:
+                if waited == 0.0:
+                    print(f"waiting for {path} ...", file=sys.stderr)
+                waited += args.interval
+                if waited > 60.0:
+                    print(
+                        f"cr-sim campaign watch: gave up after 60s "
+                        f"without a status file at {path}",
+                        file=sys.stderr,
+                    )
+                    return 2
+            elif status.get("state") == "finished":
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "run":
         return _cmd_campaign_run(args)
@@ -692,6 +848,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return _cmd_campaign_report(args)
     if args.campaign_command == "list":
         return _cmd_campaign_list(args)
+    if args.campaign_command == "watch":
+        return _cmd_campaign_watch(args)
     raise AssertionError(
         f"unhandled campaign command {args.campaign_command}"
     )

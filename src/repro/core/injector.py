@@ -181,6 +181,7 @@ class Injector:
                 return  # acknowledgement still in flight
         if not self.channel.can_send(self.vc):
             self.stall += 1
+            self.engine.stats.on_injection_stall()
             if self.stall == 1 and self.engine.bus is not None:
                 # Once per stall streak, not once per stalled cycle.
                 from ..obs.events import InjectionStalled

@@ -101,6 +101,7 @@ class KillManager:
             if plan:
                 segment = plan.pop(0)
                 self._flush_segment(message, segment, now)
+                self.engine.stats.on_kill_segment_flushed()
                 self.engine.mark_progress(now)
             if plan:
                 survivors.append(message)

@@ -60,6 +60,7 @@ class Receiver:
         if not ready:
             return
         self.staging = [entry for entry in self.staging if entry[0] > now]
+        self.engine.stats.on_flits_ejected(len(ready))
         for _, flit, channel in ready:
             channel.return_credit(0, now)
             self._consume(flit, now)

@@ -25,6 +25,7 @@ and the deadlock-demonstration example relies on it.
 from __future__ import annotations
 
 import random
+from time import perf_counter_ns
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from ..core.guarantees import DeliveryLedger
@@ -160,6 +161,9 @@ class Engine:
         # Optional application-layer reliability protocol (the software
         # retry baseline); set via SoftwareReliability.attach().
         self.reliability = None
+        # Self-profiling (repro.obs.profile): same guard discipline --
+        # one is-None check per step dispatches to the timed copy.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Message admission (traffic generators and examples use this)
@@ -249,6 +253,9 @@ class Engine:
         return self.reliability is None or not self.reliability.outstanding
 
     def step(self) -> None:
+        if self.profiler is not None:
+            self._step_profiled()
+            return
         now = self.now
         for channel in self._all_channels:
             channel.tick(now)
@@ -277,6 +284,83 @@ class Engine:
         if self.checker is not None:
             self.checker.on_cycle_end(now)
         self.now = now + 1
+
+    def _step_profiled(self) -> None:
+        # Timed copy of step(): identical phase order and side effects,
+        # each phase bracketed with perf_counter_ns.  Kept separate so
+        # the unprofiled path stays guard-only.  Any change to step()
+        # must be mirrored here (tests assert profiled and plain runs
+        # produce identical reports).
+        clock = perf_counter_ns
+        phases = self.profiler.phases
+        now = self.now
+        step_start = clock()
+
+        t0 = clock()
+        for channel in self._all_channels:
+            channel.tick(now)
+        phases["credit"].record(clock() - t0)
+
+        if self.fault_model is not None:
+            t0 = clock()
+            self.fault_model.on_cycle(now, self.network)
+            phases["fault"].record(clock() - t0)
+
+        t0 = clock()
+        self._merge_arrivals(now)
+        phases["arrival"].record(clock() - t0)
+
+        t0 = clock()
+        for node in self.nodes:
+            node.receiver.process(now)
+        phases["ejection"].record(clock() - t0)
+
+        t0 = clock()
+        self.kills.advance(now)
+        phases["kill"].record(clock() - t0)
+
+        if self.generator is not None or self.reliability is not None:
+            t0 = clock()
+            if self.generator is not None:
+                self.generator.tick(self, now)
+            if self.reliability is not None:
+                self.reliability.tick(now)
+            phases["traffic"].record(clock() - t0)
+
+        t0 = clock()
+        for node in self.nodes:
+            for injector in node.injectors:
+                injector.step(now)
+        if self.pcs is not None:
+            self.pcs.step(now)
+        phases["injection"].record(clock() - t0)
+
+        t0 = clock()
+        self._route_headers(now)
+        phases["routing"].record(clock() - t0)
+
+        t0 = clock()
+        self._switch(now)
+        phases["switch"].record(clock() - t0)
+
+        t0 = clock()
+        self._path_wide_monitor(now)
+        self._drop_at_block_monitor(now)
+        self._watchdog_check(now)
+        phases["monitor"].record(clock() - t0)
+
+        if self.sampler is not None:
+            t0 = clock()
+            self.sampler.on_cycle(now)
+            phases["sampler"].record(clock() - t0)
+
+        if self.checker is not None:
+            t0 = clock()
+            self.checker.on_cycle_end(now)
+            phases["checker"].record(clock() - t0)
+
+        self.now = now + 1
+        self.profiler.on_step_end(now, clock() - step_start)
 
     # ------------------------------------------------------------------
     # Phase 2: arrivals

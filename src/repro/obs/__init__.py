@@ -35,7 +35,18 @@ from .events import (
     event_to_dict,
 )
 from .forensics import DeadlockReport, build_deadlock_report
+from .metrics import (
+    MetricsRegistry,
+    engine_metrics,
+    parse_prometheus_text,
+)
 from .perfetto import chrome_trace, chrome_trace_events, write_chrome_trace
+from .profile import (
+    PHASES,
+    EngineProfiler,
+    attach_profiler,
+    detach_profiler,
+)
 from .sampler import IntervalSample, IntervalSampler
 from .sinks import (
     DEFAULT_TRACE_DIR,
@@ -94,7 +105,9 @@ from .tracing import (  # noqa: E402
 __all__ = [
     "DEFAULT_TRACE_DIR",
     "EVENT_TYPES",
+    "PHASES",
     "DeadlockReport",
+    "EngineProfiler",
     "Event",
     "EventBus",
     "EventSink",
@@ -110,17 +123,22 @@ __all__ = [
     "MessageCommitted",
     "MessageCreated",
     "MessageDelivered",
+    "MetricsRegistry",
     "Retransmit",
     "RingBufferSink",
     "TracedRun",
     "attach",
+    "attach_profiler",
     "build_deadlock_report",
     "chrome_trace",
     "chrome_trace_events",
     "config_for_experiment",
     "detach",
+    "detach_profiler",
+    "engine_metrics",
     "event_to_dict",
     "filter_events",
+    "parse_prometheus_text",
     "read_jsonl",
     "run_traced",
     "trace_experiments",

@@ -168,18 +168,33 @@ def chrome_trace_events(events: Iterable[Event]) -> List[Dict[str, Any]]:
     return out
 
 
-def chrome_trace(events: Iterable[Event]) -> Dict[str, Any]:
-    """The full Trace Event JSON document for an event stream."""
+def chrome_trace(
+    events: Iterable[Event],
+    extra_entries: Iterable[Dict[str, Any]] = (),
+) -> Dict[str, Any]:
+    """The full Trace Event JSON document for an event stream.
+
+    ``extra_entries`` are appended verbatim -- e.g. the profiler's
+    counter track (:meth:`EngineProfiler.counter_track_events`), which
+    shares the cycle timebase and renders as a stacked
+    where-did-the-time-go chart under the message spans.
+    """
+    entries = chrome_trace_events(events)
+    entries.extend(extra_entries)
     return {
-        "traceEvents": chrome_trace_events(events),
+        "traceEvents": entries,
         "displayTimeUnit": "ms",
         "otherData": {"time_unit": "1 trace us = 1 simulated cycle"},
     }
 
 
-def write_chrome_trace(events: Iterable[Event], path: str) -> int:
+def write_chrome_trace(
+    events: Iterable[Event],
+    path: str,
+    extra_entries: Iterable[Dict[str, Any]] = (),
+) -> int:
     """Write a Perfetto-loadable trace file; returns entries written."""
-    document = chrome_trace(events)
+    document = chrome_trace(events, extra_entries)
     parent = os.path.dirname(str(path))
     if parent:
         os.makedirs(parent, exist_ok=True)

@@ -19,7 +19,7 @@ campaign SQLite store unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, List, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from ..stats.latency import percentile
 
@@ -51,8 +51,11 @@ class IntervalSample:
     accepted_load: float  #: injected flits per node-cycle
     throughput: float  #: delivered payload flits per node-cycle
     kill_rate: float  #: kills per message delivered in the interval
-    latency_mean: float  #: mean latency of messages delivered here
-    latency_p99: float
+    #: mean latency of messages delivered here; None when the interval
+    #: delivered nothing (an empty window has no latency, and 0.0 would
+    #: read as "instant delivery" in downstream aggregates).
+    latency_mean: Optional[float]
+    latency_p99: Optional[float]
     occupancy: int  #: total buffered flits at the interval close
 
     def as_dict(self) -> Dict[str, Any]:
@@ -117,11 +120,12 @@ class IntervalSampler:
         latencies = engine.stats.total_latencies[self._latency_base:]
         self._latency_base = len(engine.stats.total_latencies)
         if latencies:
-            mean = sum(latencies) / len(latencies)
-            p99 = percentile(sorted(latencies), 0.99)
+            mean: Optional[float] = sum(latencies) / len(latencies)
+            p99: Optional[float] = percentile(sorted(latencies), 0.99)
         else:
-            mean = 0.0
-            p99 = 0.0
+            # No deliveries in the window: latency is undefined, not 0.
+            mean = None
+            p99 = None
 
         occupancy = sum(
             buf.occupancy
@@ -182,8 +186,14 @@ class IntervalSampler:
         """Write stacked sparklines of the chosen metrics; returns SVG."""
         from ..stats.svg import render_sparkline_rows
 
+        # Undefined values (empty-window latencies) plot as 0.
         svg = render_sparkline_rows(
-            [(metric, self.series(metric)) for metric in metrics],
+            [
+                (metric,
+                 [value if value is not None else 0.0
+                  for value in self.series(metric)])
+                for metric in metrics
+            ],
             title=title,
         )
         with open(path, "w", encoding="utf-8") as handle:

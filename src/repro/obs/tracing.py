@@ -15,7 +15,7 @@ quick-scale configs, so ``cr-sim trace e08`` needs no flag soup.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..sim.config import SimConfig
 from ..sim.simulator import SimResult, run_simulation
@@ -84,6 +84,9 @@ class TracedRun:
     jsonl_path: Optional[str] = None
     perfetto_path: Optional[str] = None
     perfetto_entries: int = 0
+    #: the armed EngineProfiler (None unless ``profile`` was requested);
+    #: its summary is also in ``report["profile"]``.
+    profiler: Optional[Any] = None
 
     @property
     def report(self) -> Dict[str, object]:
@@ -106,6 +109,7 @@ def run_traced(
     sample_interval: Optional[int] = None,
     keep_engine: bool = False,
     extra_sinks: Optional[List[Any]] = None,
+    profile: Union[bool, int] = False,
 ) -> TracedRun:
     """Run one simulation with the observability stack attached.
 
@@ -114,12 +118,20 @@ def run_traced(
     latter feeds deadlock forensics); the JSONL sink only when a path
     is given.  ``sample_interval`` overrides ``config.sample_interval``
     when set.
+
+    ``profile`` arms the engine self-profiler; ``True`` defaults the
+    snapshot interval to 100 cycles (an int sets it directly) so the
+    Perfetto export gains a per-phase wall-time counter track.
     """
     collector = ListSink()
     ring = RingBufferSink(capacity=ring_capacity)
     jsonl = JsonlSink(jsonl_path) if jsonl_path else None
     if sample_interval is not None:
         config = config.with_(sample_interval=sample_interval)
+    if profile:
+        config = config.with_(profile=100 if profile is True else profile)
+
+    captured: Dict[str, Any] = {}
 
     def setup(engine: Any) -> None:
         sinks = [collector, ring]
@@ -127,6 +139,7 @@ def run_traced(
             sinks.append(jsonl)
         sinks.extend(extra_sinks or [])
         attach(engine, *sinks)
+        captured["profiler"] = engine.profiler
 
     try:
         result = run_simulation(config, keep_engine=keep_engine, setup=setup)
@@ -134,9 +147,14 @@ def run_traced(
         if jsonl is not None:
             jsonl.close()
 
+    profiler = captured.get("profiler")
     entries = 0
     if perfetto_path:
-        entries = write_chrome_trace(collector.events, perfetto_path)
+        extra = (profiler.counter_track_events()
+                 if profiler is not None else ())
+        entries = write_chrome_trace(
+            collector.events, perfetto_path, extra_entries=extra
+        )
     return TracedRun(
         result=result,
         events=collector.events,
@@ -144,4 +162,5 @@ def run_traced(
         jsonl_path=jsonl.path if jsonl is not None else None,
         perfetto_path=perfetto_path if perfetto_path else None,
         perfetto_entries=entries,
+        profiler=profiler,
     )

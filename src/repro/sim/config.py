@@ -128,6 +128,12 @@ class SimConfig:
     # checker; run_simulation() then reports its counters under
     # "verify" and raises InvariantViolation on a broken invariant.
     verify: Union[None, bool, "VerifyConfig"] = None
+    # --- profiling -----------------------------------------------------
+    # True arms the engine self-profiler (phase-scoped wall timers; see
+    # repro.obs.profile); run_simulation() then reports the per-phase
+    # summary under "profile".  An int > 1 additionally takes periodic
+    # per-phase snapshots every N cycles for the Perfetto counter track.
+    profile: Union[bool, int] = False
 
     # ------------------------------------------------------------------
 
@@ -265,6 +271,13 @@ class SimConfig:
             engine.checker = InvariantChecker(engine, verify_config)
             if verify_config.mutation is not None:
                 apply_mutation(engine, verify_config.mutation)
+        if self.profile:
+            from ..obs.profile import EngineProfiler
+
+            snapshot = int(self.profile) if self.profile is not True else 0
+            engine.profiler = EngineProfiler(
+                snapshot_interval=snapshot if snapshot > 1 else 0
+            )
         return engine
 
     def _make_fault_model(

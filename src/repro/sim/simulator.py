@@ -67,6 +67,8 @@ def run_simulation(
     if engine.checker is not None:
         engine.checker.on_run_end(drained, engine.now)
         report["verify"] = engine.checker.summary()
+    if engine.profiler is not None:
+        report["profile"] = engine.profiler.summary()
     return SimResult(
         config=config,
         report=report,

@@ -63,6 +63,18 @@ class StatsCollector:
         if is_pad:
             self.counters["pad_flits_injected"] += 1
 
+    def on_injection_stall(self) -> None:
+        """An injector spent a cycle stalled on injection credits."""
+        self.counters["injection_stall_cycles"] += 1
+
+    def on_flits_ejected(self, count: int) -> None:
+        """Flits consumed off an ejection channel this cycle."""
+        self.counters["flits_ejected"] += count
+
+    def on_kill_segment_flushed(self) -> None:
+        """A kill wavefront flushed one worm buffer segment."""
+        self.counters["kill_segments_flushed"] += 1
+
     def on_escape_grant(self, message: "Message") -> None:
         """Duato instrumentation: a header took an escape channel (a PDS)."""
         self.counters["escape_grants"] += 1

@@ -37,6 +37,62 @@ def spec_file(tmp_path):
     return str(path)
 
 
+class TestWatch:
+    def test_once_renders_finished_heartbeat(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        assert cli_main(["campaign", "run", path, "--db", db]) == 0
+        capsys.readouterr()
+        assert cli_main(
+            ["campaign", "watch", "from-file", "--db", db, "--once"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign from-file [finished]" in out
+        assert "2/2 (100%)" in out
+
+    def test_watch_loop_exits_when_finished(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        assert cli_main(["campaign", "run", path, "--db", db]) == 0
+        capsys.readouterr()
+        # Not --once: the loop sees state == finished and returns 0.
+        assert cli_main(
+            ["campaign", "watch", "from-file", "--db", db,
+             "--interval", "0.01"]
+        ) == 0
+        assert "[finished]" in capsys.readouterr().out
+
+    def test_missing_heartbeat_is_an_error(self, db, capsys):
+        assert cli_main(
+            ["campaign", "watch", "nothing-here", "--db", db, "--once"]
+        ) == 2
+        assert "no status file" in capsys.readouterr().err
+
+    def test_svg_export(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        assert cli_main(["campaign", "run", path, "--db", db]) == 0
+        svg_path = tmp_path / "hb.svg"
+        assert cli_main(
+            ["campaign", "watch", "from-file", "--db", db, "--once",
+             "--svg", str(svg_path)]
+        ) == 0
+        assert svg_path.read_text().startswith("<svg")
+
+    def test_explicit_status_file(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        assert cli_main(["campaign", "run", path, "--db", db]) == 0
+        from repro.campaign import status_path
+
+        assert cli_main(
+            ["campaign", "watch", "whatever", "--db", ":memory:",
+             "--once", "--status-file", status_path(db, "from-file")]
+        ) == 0
+
+    def test_in_memory_db_without_status_file_rejected(self, capsys):
+        assert cli_main(
+            ["campaign", "watch", "x", "--db", ":memory:", "--once"]
+        ) == 2
+        assert "--status-file" in capsys.readouterr().err
+
+
 class TestList:
     def test_lists_builtins_with_sizes(self, capsys):
         assert cli_main(["campaign", "list"]) == 0

@@ -1,0 +1,269 @@
+"""Campaign heartbeat: atomic writes, monitor accounting, rendering."""
+
+import json
+import os
+
+import pytest
+
+from repro import SimConfig
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    read_status,
+    render_status,
+    run_campaign,
+)
+from repro.campaign.monitor import (
+    ROLLING_WINDOW,
+    CampaignMonitor,
+    status_path,
+    status_svg,
+    text_sparkline,
+    write_status,
+)
+from repro.campaign.spec import CampaignPoint
+
+
+def tiny_spec(name="hb-test", loads=(0.1, 0.2)):
+    return CampaignSpec.from_dict({
+        "name": name,
+        "description": "heartbeat test campaign",
+        "base": {
+            "radix": 4, "dims": 2, "routing": "cr",
+            "message_length": 8, "warmup": 50, "measure": 150,
+            "drain": 1000,
+        },
+        "axes": {"load": list(loads)},
+        "replications": 1,
+    })
+
+
+def make_point(point_id="p/rep=0", scenario=None, replication=0):
+    return CampaignPoint(
+        point_id=point_id,
+        grid="",
+        scenario=scenario or {"load": 0.1},
+        replication=replication,
+        config=SimConfig(radix=4, dims=2, message_length=8),
+    )
+
+
+class TestStatusPath:
+    def test_anchored_next_to_the_database(self):
+        assert (status_path("results/campaigns.sqlite", "fm")
+                == os.path.join("results", "fm.status.json"))
+
+    def test_bare_filename_lands_in_cwd(self):
+        assert status_path("camp.sqlite", "fm") == os.path.join(
+            ".", "fm.status.json"
+        )
+
+    def test_in_memory_store_has_no_heartbeat(self):
+        assert status_path(":memory:", "fm") is None
+
+
+class TestAtomicWrites:
+    def test_write_then_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "deep" / "s.status.json")
+        write_status(path, {"done": 3, "total": 9})
+        assert read_status(path) == {"done": 3, "total": 9}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "s.status.json")
+        write_status(path, {"state": "running"})
+        write_status(path, {"state": "finished"})
+        assert os.listdir(tmp_path) == ["s.status.json"]
+
+    def test_reader_never_sees_a_torn_file(self, tmp_path):
+        # os.replace is atomic: even immediately after a rewrite the
+        # file parses as complete JSON.
+        path = str(tmp_path / "s.status.json")
+        for index in range(20):
+            write_status(path, {"index": index, "pad": "x" * 4096})
+            assert read_status(path)["index"] == index
+
+
+class TestMonitorAccounting:
+    def make_monitor(self, tmp_path, total=4, interval=0.0):
+        ticks = iter(range(1000))
+
+        def clock():
+            return float(next(ticks))
+
+        path = str(tmp_path / "m.status.json")
+        return CampaignMonitor(
+            "m", total, path, interval=interval, clock=clock
+        ), path
+
+    def test_ok_and_skipped_advance_done_failed_does_not(self, tmp_path):
+        monitor, path = self.make_monitor(tmp_path)
+        monitor.on_point(make_point(), "ok", 0.5)
+        monitor.on_point(make_point(), "skipped", 0.0)
+        monitor.on_point(make_point(), "failed", 0.2)
+        assert monitor.done == 2
+        status = read_status(path)
+        assert status["done"] == 2
+        assert status["last_point"]["outcome"] == "failed"
+        counters = status["metrics"]["cr_campaign_points_total"]["values"]
+        assert counters['{outcome="ok"}'] == 1.0
+        assert counters['{outcome="failed"}'] == 1.0
+        assert counters['{outcome="skipped"}'] == 1.0
+
+    def test_rates_accumulate_from_reports(self, tmp_path):
+        monitor, path = self.make_monitor(tmp_path)
+        report = {"kills": 6, "retransmissions": 3,
+                  "messages_delivered": 60, "kill_rate": 0.1}
+        monitor.on_point(make_point(), "ok", 0.5, report)
+        monitor.on_point(make_point(), "ok", 0.7, report)
+        status = read_status(path)
+        assert status["rates"]["kills_per_delivered"] == pytest.approx(
+            12 / 120)
+        assert (status["rates"]["retransmissions_per_delivered"]
+                == pytest.approx(6 / 120))
+        assert status["recent_kill_rates"] == [0.1, 0.1]
+
+    def test_eta_from_rolling_wall_times(self, tmp_path):
+        monitor, _ = self.make_monitor(tmp_path, total=10)
+        assert monitor.eta_seconds() is None  # no samples yet
+        monitor.on_point(make_point(), "ok", 2.0)
+        monitor.on_point(make_point(), "ok", 4.0)
+        # mean 3.0s over 8 remaining points.
+        assert monitor.eta_seconds() == pytest.approx(24.0)
+
+    def test_eta_zero_when_complete(self, tmp_path):
+        monitor, _ = self.make_monitor(tmp_path, total=1)
+        monitor.on_point(make_point(), "ok", 2.0)
+        assert monitor.eta_seconds() == 0.0
+
+    def test_rolling_window_is_bounded(self, tmp_path):
+        monitor, _ = self.make_monitor(
+            tmp_path, total=ROLLING_WINDOW * 2
+        )
+        for index in range(ROLLING_WINDOW + 10):
+            monitor.on_point(make_point(), "ok", float(index))
+        assert len(monitor._recent_wall) == ROLLING_WINDOW
+
+    def test_interval_throttles_intermediate_writes(self, tmp_path):
+        monitor, path = self.make_monitor(
+            tmp_path, total=4, interval=100.0
+        )
+        monitor.on_point(make_point(), "ok", 0.1)  # first write
+        first = read_status(path)
+        monitor.on_point(make_point(), "ok", 0.1)  # throttled
+        assert read_status(path) == first
+        monitor.finalize()  # terminal write always lands
+        assert read_status(path)["state"] == "finished"
+
+    def test_completion_writes_even_when_throttled(self, tmp_path):
+        monitor, path = self.make_monitor(
+            tmp_path, total=2, interval=1000.0
+        )
+        monitor.on_point(make_point(), "ok", 0.1)
+        monitor.on_point(make_point(), "ok", 0.1)
+        assert read_status(path)["done"] == 2
+
+
+class TestRunCampaignHeartbeat:
+    def test_run_writes_and_finalizes_heartbeat(self, tmp_path):
+        db = str(tmp_path / "camp.sqlite")
+        spec = tiny_spec()
+        with CampaignStore(db) as store:
+            stats = run_campaign(spec, store, heartbeat=0.0)
+        assert stats.complete
+        path = status_path(db, spec.name)
+        status = read_status(path)
+        assert status["state"] == "finished"
+        assert status["done"] == status["total"] == spec.size
+        assert status["last_point"]["outcome"] == "ok"
+        assert "load" in status["last_point"]["scenario"]
+
+    def test_resume_counts_skipped_points_as_done(self, tmp_path):
+        db = str(tmp_path / "camp.sqlite")
+        spec = tiny_spec()
+        with CampaignStore(db) as store:
+            run_campaign(spec, store, heartbeat=0.0)
+        # Second run resumes: every point skips, heartbeat stays
+        # consistent at done == total.
+        with CampaignStore(db) as store:
+            stats = run_campaign(spec, store, heartbeat=0.0)
+        assert stats.skipped == spec.size
+        status = read_status(status_path(db, spec.name))
+        assert status["state"] == "finished"
+        assert status["done"] == status["total"] == spec.size
+
+    def test_heartbeat_none_disables_monitoring(self, tmp_path):
+        db = str(tmp_path / "camp.sqlite")
+        spec = tiny_spec()
+        with CampaignStore(db) as store:
+            run_campaign(spec, store, heartbeat=None)
+        assert not os.path.exists(status_path(db, spec.name))
+
+    def test_explicit_heartbeat_path_wins(self, tmp_path):
+        db = str(tmp_path / "camp.sqlite")
+        explicit = str(tmp_path / "elsewhere" / "hb.json")
+        with CampaignStore(db) as store:
+            run_campaign(tiny_spec(), store, heartbeat=0.0,
+                         heartbeat_path=explicit)
+        assert read_status(explicit)["state"] == "finished"
+
+    def test_in_memory_store_skips_heartbeat(self):
+        with CampaignStore(":memory:") as store:
+            stats = run_campaign(tiny_spec(), store, heartbeat=0.0)
+        assert stats.complete  # no crash, no file anywhere to check
+
+
+class TestRendering:
+    def test_text_sparkline_shape(self):
+        line = text_sparkline([0.0, 0.5, 1.0])
+        assert line == "▁▅█"
+        assert text_sparkline([]) == ""
+        # Constant series renders mid-ramp, not flatline-at-zero.
+        assert set(text_sparkline([2.0, 2.0])) == {"▅"}
+
+    def test_text_sparkline_clamps_to_width(self):
+        assert len(text_sparkline(list(range(100)), width=16)) == 16
+
+    def test_render_status_is_pure_and_complete(self):
+        status = {
+            "name": "fm", "state": "running",
+            "elapsed_seconds": 12.0, "eta_seconds": 48.0,
+            "done": 2, "total": 8,
+            "last_point": {
+                "point_id": "load=0.2/rep=0", "outcome": "ok",
+                "elapsed": 1.5, "scenario": {"load": 0.2},
+            },
+            "rates": {"kills_per_delivered": 0.25,
+                      "retransmissions_per_delivered": 0.125},
+            "recent_wall_seconds": [1.0, 2.0],
+            "recent_kill_rates": [0.1, 0.3],
+        }
+        text = render_status(status)
+        assert "campaign fm [running]" in text
+        assert "2/8 (25%)" in text
+        assert "eta 48.0s" in text
+        assert "load=0.2/rep=0" in text
+        assert "load=0.2" in text
+        assert "0.2500" in text and "0.1250" in text
+        assert "▁█" in text  # sparklines present
+
+    def test_render_status_tolerates_sparse_dict(self):
+        assert "campaign ? [?]" in render_status({})
+
+    def test_status_svg(self):
+        svg = status_svg({
+            "name": "fm",
+            "recent_wall_seconds": [1.0, 2.0, 3.0],
+            "recent_kill_rates": [0.0, 0.1],
+        })
+        assert svg.startswith("<svg")
+        assert "point wall s" in svg and "kill rate" in svg
+
+    def test_finished_status_round_trips_through_render(self, tmp_path):
+        db = str(tmp_path / "camp.sqlite")
+        spec = tiny_spec()
+        with CampaignStore(db) as store:
+            run_campaign(spec, store, heartbeat=0.0)
+        status = read_status(status_path(db, spec.name))
+        text = render_status(status)
+        assert f"{spec.size}/{spec.size} (100%)" in text
+        assert json.dumps(status)  # heartbeat is pure JSON

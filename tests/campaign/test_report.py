@@ -147,3 +147,11 @@ class TestRendering:
         assert "# Campaign `solo`" in text
         assert "## Failed points" in text
         assert "attempts=3" in text
+
+    def test_markdown_reports_wall_time_per_point(self, store):
+        seed_campaign(store, "timed", {"cr": 10.0, "dor": 5.0}, 0.2)
+        text = campaign_markdown(store, "timed",
+                                 metrics=["latency_mean"])
+        assert "wall s/point" in text
+        # Every point was stored with wall_time=0.1.
+        assert "| 0.1 |" in text

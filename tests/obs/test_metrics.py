@@ -1,0 +1,234 @@
+"""Metrics registry: types, exposition format, round-trip, publisher."""
+
+import math
+
+import pytest
+
+from repro import SimConfig, run_simulation
+from repro.obs.metrics import (
+    COUNTER_HELP,
+    LATENCY_BUCKETS,
+    WALL_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    engine_metrics,
+    parse_prometheus_text,
+)
+
+
+def finished_engine(**overrides):
+    params = dict(
+        radix=4, dims=2, routing="cr", load=0.2, message_length=8,
+        warmup=50, measure=300, drain=2000, seed=11,
+    )
+    params.update(overrides)
+    return run_simulation(SimConfig(**params), keep_engine=True).engine
+
+
+class TestPrimitives:
+    def test_counter_only_goes_up(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        hist = Histogram(buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]
+        assert hist.inf_count == 1
+        assert hist.count == 4
+        assert hist.sum == 555.5
+        lines = hist.sample_lines("h", ())
+        assert 'h_bucket{le="1"} 1' in lines
+        assert 'h_bucket{le="100"} 3' in lines
+        assert 'h_bucket{le="+Inf"} 4' in lines
+        assert "h_count 4" in lines
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(10.0, 1.0))
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", "Hits.")
+        second = registry.counter("hits")
+        assert first is second
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "A thing.")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_labels_partition_instances(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("points", "Points.",
+                              labels={"outcome": "ok"})
+        failed = registry.counter("points",
+                                  labels={"outcome": "failed"})
+        assert ok is not failed
+        ok.inc(3)
+        text = registry.prometheus_text()
+        assert 'points{outcome="ok"} 3' in text
+        assert 'points{outcome="failed"} 0' in text
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(prefix="bad prefix ")
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("no spaces allowed")
+        with pytest.raises(ValueError):
+            registry.counter("ok", labels={"bad-label": "x"})
+
+    def test_prefix_applies_to_every_family(self):
+        registry = MetricsRegistry(prefix="cr_")
+        registry.counter("kills_total", "Kills.")
+        assert registry.names() == ["cr_kills_total"]
+
+    def test_families_lists_name_type_help(self):
+        registry = MetricsRegistry()
+        registry.counter("a", "Help A.")
+        registry.histogram("b", "Help B.", buckets=(1.0,))
+        assert registry.families() == [
+            ("a", "counter", "Help A."),
+            ("b", "histogram", "Help B."),
+        ]
+
+    def test_write_prometheus_and_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("writes", "Writes.").inc(7)
+        prom = tmp_path / "deep" / "m.prom.txt"
+        text = registry.write_prometheus(str(prom))
+        assert prom.read_text() == text
+        snap = registry.write_json(str(tmp_path / "m.json"))
+        assert snap["writes"]["values"][""] == 7.0
+
+
+class TestRoundTrip:
+    def test_every_family_survives_parse(self):
+        engine = finished_engine()
+        registry = engine_metrics(engine)
+        parsed = parse_prometheus_text(registry.prometheus_text())
+        for name, kind, help_text in registry.families():
+            assert name in parsed, f"family {name} lost in round-trip"
+            assert parsed[name]["type"] == kind
+            assert parsed[name]["help"] == help_text
+
+    def test_counter_values_survive_parse(self):
+        engine = finished_engine()
+        registry = engine_metrics(engine)
+        parsed = parse_prometheus_text(registry.prometheus_text())
+        delivered = engine.stats.counters["messages_delivered"]
+        assert (parsed["cr_messages_delivered_total"]["samples"]
+                ["cr_messages_delivered_total"] == delivered)
+
+    def test_histogram_samples_attributed_to_family(self):
+        engine = finished_engine()
+        parsed = parse_prometheus_text(
+            engine_metrics(engine).prometheus_text()
+        )
+        family = parsed["cr_message_latency_cycles"]
+        assert family["type"] == "histogram"
+        samples = family["samples"]
+        measured = len(engine.stats.total_latencies)
+        assert measured > 0
+        assert samples["cr_message_latency_cycles_count"] == measured
+        inf_key = 'cr_message_latency_cycles_bucket{le="+Inf"}'
+        assert samples[inf_key] == measured
+        # Cumulative buckets never decrease toward +Inf.
+        bounds = [f'cr_message_latency_cycles_bucket{{le="{b:g}"}}'
+                  for b in LATENCY_BUCKETS]
+        values = [samples[k] for k in bounds if k in samples]
+        assert values == sorted(values)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unparsable"):
+            parse_prometheus_text("this is not prometheus\n")
+
+    def test_inf_value_parses(self):
+        parsed = parse_prometheus_text("x 1\ny +Inf\n")
+        assert parsed["y"]["samples"]["y"] == math.inf
+
+
+class TestEnginePublisher:
+    def test_every_stats_counter_published(self):
+        engine = finished_engine()
+        registry = engine_metrics(engine)
+        names = set(registry.names())
+        for counter in engine.stats.counters:
+            if counter.startswith("kills_"):
+                assert "cr_kills_by_cause_total" in names
+            else:
+                assert f"cr_{counter}_total" in names
+
+    def test_declared_help_used(self):
+        engine = finished_engine()
+        families = dict(
+            (name, help_text)
+            for name, _, help_text in engine_metrics(engine).families()
+        )
+        for counter, help_text in COUNTER_HELP.items():
+            name = f"cr_{counter}_total"
+            if name in families:
+                assert families[name] == help_text
+
+    def test_kill_causes_fold_into_labelled_family(self):
+        engine = finished_engine(load=0.4)
+        counters = engine.stats.counters
+        causes = {name[len("kills_"):]: counters[name]
+                  for name in counters if name.startswith("kills_")}
+        assert causes, "run produced no kill causes to fold"
+        text = engine_metrics(engine).prometheus_text()
+        for cause, count in causes.items():
+            assert (f'cr_kills_by_cause_total{{cause="{cause}"}} '
+                    f"{count:g}" in text)
+
+    def test_latency_histogram_matches_stats(self):
+        engine = finished_engine()
+        registry = engine_metrics(engine)
+        hist = registry.histogram("message_latency_cycles")
+        assert hist.count == len(engine.stats.total_latencies)
+        assert hist.sum == pytest.approx(
+            sum(engine.stats.total_latencies)
+        )
+
+    def test_gauges_zero_after_full_drain(self):
+        engine = finished_engine()
+        registry = engine_metrics(engine)
+        assert registry.gauge("live_messages").value == 0
+        assert registry.gauge("in_flight_worms").value == 0
+        assert registry.gauge("buffer_occupancy_flits").value == 0
+        assert registry.gauge("cycle").value == engine.now
+
+    def test_new_hook_counters_are_live(self):
+        engine = finished_engine()
+        counters = engine.stats.counters
+        assert counters["flits_ejected"] > 0
+        assert counters["kill_segments_flushed"] >= 0
+        # Ejected flits account for everything delivered.
+        assert (counters["flits_ejected"]
+                >= counters["payload_flits_delivered"])
+
+    def test_wall_time_buckets_shape(self):
+        assert list(WALL_TIME_BUCKETS) == sorted(WALL_TIME_BUCKETS)
+        assert WALL_TIME_BUCKETS[0] < 1.0 < WALL_TIME_BUCKETS[-1]

@@ -1,0 +1,162 @@
+"""Engine self-profiler: guard discipline, attribution, exports."""
+
+import pytest
+
+from repro import SimConfig, run_simulation
+from repro.obs.profile import (
+    PHASES,
+    EngineProfiler,
+    attach_profiler,
+    detach_profiler,
+)
+
+
+def quick_config(**overrides):
+    params = dict(
+        radix=4, dims=2, routing="cr", load=0.2, message_length=8,
+        warmup=50, measure=300, drain=2000, seed=7,
+    )
+    params.update(overrides)
+    return SimConfig(**params)
+
+
+class TestGuardDiscipline:
+    def test_default_engine_is_unprofiled(self):
+        engine = quick_config().build()
+        assert engine.profiler is None
+
+    def test_config_profile_true_arms_the_profiler(self):
+        engine = quick_config(profile=True).build()
+        assert engine.profiler is not None
+        assert engine.profiler.snapshot_interval == 0
+
+    def test_config_profile_int_sets_snapshot_interval(self):
+        engine = quick_config(profile=50).build()
+        assert engine.profiler.snapshot_interval == 50
+
+    def test_attach_detach_round_trip(self):
+        engine = quick_config().build()
+        profiler = attach_profiler(engine, snapshot_interval=10)
+        assert engine.profiler is profiler
+        assert detach_profiler(engine) is profiler
+        assert engine.profiler is None
+
+    def test_negative_snapshot_interval_rejected(self):
+        with pytest.raises(ValueError):
+            EngineProfiler(snapshot_interval=-1)
+
+
+class TestDeterminism:
+    def test_profiled_run_reproduces_the_unprofiled_report(self):
+        # Profiling must only *observe*: the simulation outcome, flit
+        # for flit, is identical with and without the profiler armed.
+        plain = run_simulation(quick_config())
+        profiled = run_simulation(quick_config(profile=True))
+        profiled_report = dict(profiled.report)
+        profile = profiled_report.pop("profile")
+        assert profiled_report == plain.report
+        assert profile["cycles"] == profiled.cycles_run
+
+
+class TestAttribution:
+    def test_phase_sum_bounded_by_step_total(self):
+        result = run_simulation(quick_config(profile=True),
+                                keep_engine=True)
+        profiler = result.engine.profiler
+        # Timer + glue overhead lands in the gap, never in a phase.
+        assert 0 < profiler.phase_wall_ns() <= profiler.step_wall_ns
+
+    def test_every_cycle_phases_called_once(self):
+        result = run_simulation(quick_config(profile=True),
+                                keep_engine=True)
+        profiler = result.engine.profiler
+        cycles = result.cycles_run
+        assert profiler.cycles == cycles
+        # Unconditional phases run every cycle; optional subsystems
+        # that were never attached must show zero calls.
+        for name in ("credit", "arrival", "ejection", "kill",
+                     "injection", "routing", "switch", "monitor"):
+            assert profiler.phases[name].calls == cycles
+        assert profiler.phases["fault"].calls == 0
+        assert profiler.phases["sampler"].calls == 0
+        assert profiler.phases["checker"].calls == 0
+
+    def test_optional_phases_counted_when_attached(self):
+        result = run_simulation(
+            quick_config(profile=True, sample_interval=50,
+                         fault_rate=1e-4),
+            keep_engine=True,
+        )
+        profiler = result.engine.profiler
+        assert profiler.phases["sampler"].calls == result.cycles_run
+        assert profiler.phases["fault"].calls == result.cycles_run
+
+    def test_summary_shares_sum_below_one(self):
+        result = run_simulation(quick_config(profile=True))
+        summary = result.report["profile"]
+        assert set(summary["phases"]) == set(PHASES)
+        total_share = sum(
+            entry["share"] for entry in summary["phases"].values()
+        )
+        assert 0 < total_share <= 1.0
+        assert summary["phase_wall_ns"] <= summary["step_wall_ns"]
+
+
+class TestExports:
+    def test_hotspot_rows_sorted_hottest_first(self):
+        result = run_simulation(quick_config(profile=True),
+                                keep_engine=True)
+        rows = result.engine.profiler.hotspot_rows()
+        assert [r["phase"] for r in rows] != []
+        walls = [r["wall_ms"] for r in rows]
+        assert walls == sorted(walls, reverse=True)
+        assert {r["phase"] for r in rows} == set(PHASES)
+
+    def test_hotspot_markdown_shape(self):
+        result = run_simulation(quick_config(profile=True),
+                                keep_engine=True)
+        text = result.engine.profiler.hotspot_markdown()
+        assert text.startswith("# Engine phase hotspots")
+        assert "| phase | calls |" in text
+        # One table row per phase.
+        assert sum(
+            1 for line in text.splitlines()
+            if line.startswith("| ") and not line.startswith("| phase")
+            and not line.startswith("| ---")
+        ) == len(PHASES)
+
+    def test_counter_track_events_from_snapshots(self):
+        result = run_simulation(quick_config(profile=100),
+                                keep_engine=True)
+        profiler = result.engine.profiler
+        assert profiler.snapshots, "snapshot interval produced no rows"
+        events = profiler.counter_track_events()
+        assert events
+        for event in events:
+            assert event["ph"] == "C"
+            assert event["name"] == "engine phase wall µs"
+            assert event["args"]
+            assert set(event["args"]) <= set(PHASES)
+        # Snapshot timestamps land on interval boundaries.
+        assert all(event["ts"] % 100 == 0 for event in events)
+
+    def test_no_snapshots_means_no_counter_track(self):
+        result = run_simulation(quick_config(profile=True),
+                                keep_engine=True)
+        assert result.engine.profiler.counter_track_events() == []
+
+    def test_run_traced_merges_counter_track_into_perfetto(self, tmp_path):
+        import json
+
+        from repro.obs import run_traced
+
+        path = str(tmp_path / "t.perfetto.json")
+        traced = run_traced(
+            quick_config(), perfetto_path=path, profile=100
+        )
+        assert traced.profiler is not None
+        with open(path) as handle:
+            entries = json.load(handle)["traceEvents"]
+        counters = [e for e in entries if e.get("ph") == "C"]
+        assert counters
+        assert traced.perfetto_entries == len(entries)

@@ -69,9 +69,29 @@ class TestSampling:
         assert delivered
         for sample in delivered:
             assert sample["latency_p99"] >= sample["latency_mean"] > 0
-        for sample in samples:
-            if not sample["delivered_messages"]:
-                assert sample["latency_mean"] == 0.0
+
+    def test_empty_interval_reports_latency_as_none(self):
+        # An interval with no deliveries has no latency distribution:
+        # mean/p99 must be None, not a misleading 0.0.
+        result = sampled_result(interval=10, load=0.02)
+        samples = result.report["timeseries"]
+        empty = [s for s in samples if not s["delivered_messages"]]
+        assert empty, "run produced no empty windows to check"
+        for sample in empty:
+            assert sample["latency_mean"] is None
+            assert sample["latency_p99"] is None
+
+    def test_interval_longer_than_run_still_emits_final_sample(self):
+        # sample_interval far beyond the run length: finalize must
+        # close the one partial window covering the entire run.
+        result = sampled_result(interval=100_000, measure=300)
+        samples = result.report["timeseries"]
+        assert len(samples) == 1
+        (sample,) = samples
+        assert sample["start"] == 0
+        assert sample["end"] == result.cycles_run
+        assert (sample["delivered_messages"]
+                == result.stats.counters["messages_delivered"])
 
     def test_occupancy_drains_to_zero(self):
         result = sampled_result()

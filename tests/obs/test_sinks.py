@@ -98,6 +98,33 @@ class TestJsonlSink:
         path.write_text('{"event": "A"}\n\n{"event": "B"}\n')
         assert [e["event"] for e in read_jsonl(str(path))] == ["A", "B"]
 
+    def test_truncated_final_line_is_dropped_with_warning(self, tmp_path):
+        # A crash mid-write leaves a partial record with no trailing
+        # newline: every complete line still parses, the fragment is
+        # dropped, and the reader warns instead of raising.
+        from repro.obs import sinks
+
+        path = tmp_path / "crashed.jsonl"
+        path.write_text(
+            '{"event": "A", "cycle": 1}\n'
+            '{"event": "B", "cycle": 2}\n'
+            '{"event": "C", "cy'
+        )
+        before = sinks.truncated_line_count
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            events = read_jsonl(str(path))
+        assert [e["event"] for e in events] == ["A", "B"]
+        assert sinks.truncated_line_count == before + 1
+
+    def test_newline_terminated_garbage_still_raises(self, tmp_path):
+        # Only the crash-truncation shape is tolerated: a malformed
+        # line that *was* fully written (trailing newline) is real
+        # corruption and must keep raising, even in final position.
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"event": "A"}\n{oops}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(str(path))
+
 
 class TestFilterEvents:
     def test_by_name_and_passthrough(self):

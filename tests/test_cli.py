@@ -66,6 +66,20 @@ class TestRunCommand:
         assert "latency_mean" in out
         assert "fcr on 4-ary 2-torus" in out
 
+    def test_profile_prints_hotspot_table(self, capsys):
+        code = cli_main(
+            [
+                "run", "--routing", "cr", "--radix", "4",
+                "--load", "0.2", "--warmup", "50", "--measure", "200",
+                "--drain", "1500", "--message-length", "8",
+                "--profile",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine phase hotspots" in out
+        assert "routing" in out and "switch" in out
+
 
 class TestSweepCommand:
     ARGS = [
@@ -146,6 +160,44 @@ class TestTraceCommand:
         assert code != 0
         err = capsys.readouterr().err
         assert "fault-matrix" in err
+
+    def test_profile_writes_hotspot_and_prometheus(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import parse_prometheus_text
+
+        hotspot = str(tmp_path / "run.hotspot.md")
+        prom = str(tmp_path / "run.prom.txt")
+        code = cli_main(self.ARGS + [
+            "--profile", "--hotspot", hotspot, "--prom", prom,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine phase hotspots" in out
+        with open(hotspot) as handle:
+            assert handle.read().startswith("# Engine phase hotspots")
+        with open(prom) as handle:
+            parsed = parse_prometheus_text(handle.read())
+        assert "cr_messages_delivered_total" in parsed
+
+    def test_profile_merges_counter_track_into_perfetto(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        perfetto = str(tmp_path / "run.perfetto.json")
+        code = cli_main(self.ARGS + [
+            "--profile", "100", "--perfetto", perfetto,
+        ])
+        assert code == 0
+        with open(perfetto) as handle:
+            entries = json.load(handle)["traceEvents"]
+        assert any(e.get("ph") == "C" for e in entries)
+
+    def test_hotspot_without_profile_exits_2(self, capsys):
+        code = cli_main(self.ARGS + ["--hotspot"])
+        assert code == 2
+        assert "--profile" in capsys.readouterr().err
 
 
 class TestExperimentCommand:
