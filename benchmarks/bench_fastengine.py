@@ -1,0 +1,108 @@
+"""FastEngine throughput: the e01 latency-load sweep under both engines.
+
+The fast engine's contract is *exact* equivalence with the reference
+engine (enforced by ``tests/network/test_fastengine.py`` and the fuzz
+corpus); this benchmark measures what the equivalence buys.  It times
+the single-core e01-style sweep — CR and DOR across the quick load
+points on an 8-ary 2-torus — once per engine and records the speedup
+ratio into the shared ``results/overhead.json`` ledger.
+
+Two modes:
+
+* **full** (default): the complete QUICK sweep, min-of-``ROUNDS``
+  timing, asserting the ``FLOOR_X`` (3x) speedup floor from the ISSUE 6
+  acceptance criteria.  The 10x target is recorded in the ledger
+  alongside the measured ratio.
+* **smoke** (``CR_BENCH_SMOKE=1``): one load point per scheme, single
+  round, no floor assertion — the CI equivalence job uses this to
+  exercise the dual-engine path and publish the ledger without gating
+  merges on the runner's single-core throughput, which varies by
+  an order of magnitude across shared runners.
+
+Either way the measured ratio is printed and recorded, so a container
+that falls short of the floor still documents its honest number.
+"""
+
+import os
+import time
+
+from overhead_log import record_overhead
+
+from repro.experiments.common import QUICK
+from repro.network.fastengine import FastEngine
+from repro.network.message import reset_uid_counter
+from repro.sim.simulator import run_simulation
+
+#: acceptance floor (full mode asserts this) and aspirational target.
+FLOOR_X = 3.0
+TARGET_X = 10.0
+
+SMOKE = os.environ.get("CR_BENCH_SMOKE", "") not in ("", "0")
+ROUNDS = 1 if SMOKE else 3
+SCHEMES = ("cr", "dor")
+LOADS = tuple(QUICK.loads[:1]) if SMOKE else tuple(QUICK.loads)
+
+
+def _sweep(engine):
+    """One full e01-style sweep; returns (elapsed_s, reports)."""
+    reports = []
+    start = time.perf_counter()
+    for scheme in SCHEMES:
+        for load in LOADS:
+            config = QUICK.base_config(num_vcs=2, buffer_depth=2).with_(
+                routing=scheme, load=load, engine=engine
+            )
+            reset_uid_counter()
+            result = run_simulation(config, keep_engine=True)
+            reports.append(result)
+    return time.perf_counter() - start, reports
+
+
+def test_fastengine_sweep_speedup(benchmark):
+    ref_times, fast_times = [], []
+    for _ in range(ROUNDS):
+        elapsed, ref_results = _sweep("reference")
+        ref_times.append(elapsed)
+        elapsed, fast_results = _sweep("fast")
+        fast_times.append(elapsed)
+
+    # The sweeps must have simulated the same traffic: equal delivery
+    # counts per point (full equivalence is the test suite's job).
+    for ref, fast in zip(ref_results, fast_results):
+        assert isinstance(fast.engine, FastEngine)
+        assert (
+            ref.report["messages_delivered"]
+            == fast.report["messages_delivered"]
+        )
+
+    # Report the fast path in the benchmark table.
+    benchmark.pedantic(_sweep, args=("fast",), rounds=1, iterations=1)
+
+    ref_s, fast_s = min(ref_times), min(fast_times)
+    speedup = ref_s / fast_s if fast_s else float("inf")
+    mode = "smoke" if SMOKE else "full"
+    print(
+        f"\nfastengine e01 sweep ({mode}): reference {ref_s:.2f}s, "
+        f"fast {fast_s:.2f}s -> {speedup:.2f}x "
+        f"(floor {FLOOR_X:.0f}x, target {TARGET_X:.0f}x)"
+    )
+    # The ledger stores overhead = fast/ref (lower is better), with the
+    # floor as its budget; the detail row carries the headline ratio.
+    record_overhead(
+        "fastengine", fast_s / ref_s if ref_s else 0.0, 1.0 / FLOOR_X,
+        detail={
+            "mode": mode,
+            "speedup_x": round(speedup, 2),
+            "floor_x": FLOOR_X,
+            "target_x": TARGET_X,
+            "reference_s": round(ref_s, 3),
+            "fast_s": round(fast_s, 3),
+            "schemes": list(SCHEMES),
+            "loads": list(LOADS),
+        },
+    )
+    if not SMOKE:
+        assert speedup >= FLOOR_X, (
+            f"fast engine sweep speedup {speedup:.2f}x is below the "
+            f"{FLOOR_X:.0f}x floor (target {TARGET_X:.0f}x)"
+        )

@@ -47,6 +47,7 @@ from .faults.permanent import (
 )
 from .faults.transient import TransientFaults
 from .network.engine import Engine, NetworkDeadlockError
+from .network.fastengine import FastEngine
 from .network.message import Message
 from .network.network import WormholeNetwork
 from .routing.base import Candidate, RoutingFunction
@@ -169,7 +170,7 @@ from .traffic.patterns import (
     make_pattern,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # simulation entry points
@@ -230,6 +231,7 @@ __all__ = [
     "SoftwareReliability",
     # network substrate
     "Engine",
+    "FastEngine",
     "NetworkDeadlockError",
     "WormholeNetwork",
     "Message",

@@ -271,12 +271,12 @@ def render_status(status: Dict[str, Any], width: int = 72) -> str:
     if walls:
         lines.append(
             f"  point wall s  {text_sparkline(walls)}"
-            f"  (last {walls[-1]:.2f}s)"
+            f"  (last {0.0 if walls[-1] is None else walls[-1]:.2f}s)"
         )
     if kills:
         lines.append(
             f"  kill rate     {text_sparkline(kills)}"
-            f"  (last {kills[-1]:.3f})"
+            f"  (last {0.0 if kills[-1] is None else kills[-1]:.3f})"
         )
     return "\n".join(lines)
 
@@ -285,11 +285,16 @@ def status_svg(status: Dict[str, Any]) -> str:
     """The heartbeat's rolling series as SVG sparklines."""
     from ..stats.svg import render_sparkline_rows
 
+    # Heartbeat files written mid-campaign may hold null samples (a
+    # point that produced no measurable rate yet); plot them as 0.0
+    # rather than crashing the monitor on float(None).
     rows = [
         ("point wall s",
-         [float(v) for v in status.get("recent_wall_seconds") or []]),
+         [0.0 if v is None else float(v)
+          for v in status.get("recent_wall_seconds") or []]),
         ("kill rate",
-         [float(v) for v in status.get("recent_kill_rates") or []]),
+         [0.0 if v is None else float(v)
+          for v in status.get("recent_kill_rates") or []]),
     ]
     name = status.get("name", "campaign")
     return render_sparkline_rows(rows, title=f"{name} — live heartbeat")

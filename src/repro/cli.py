@@ -33,6 +33,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--engine", default="reference",
+            choices=["reference", "fast"],
+            help="simulation engine: the reference cycle loop or the "
+                 "flit-identical fast engine with event skipping "
+                 "(see docs/SIMULATOR.md)",
+        )
+
     run_p = sub.add_parser("run", help="run one simulation")
     run_p.add_argument(
         "--routing", default="cr", choices=sorted(SCHEMES)
@@ -65,6 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm the engine self-profiler and print the per-phase "
              "hotspot table (see docs/OBSERVABILITY.md)",
     )
+    add_engine(run_p)
 
     exp_p = sub.add_parser("experiment", help="reproduce a table/figure")
     exp_p.add_argument("id", choices=sorted(REGISTRY))
@@ -124,6 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_CACHE_DIR,
         help="sweep result cache location (default: %(default)s)",
     )
+    add_engine(sweep_p)
 
     trace_p = sub.add_parser(
         "trace",
@@ -194,6 +205,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics registry in Prometheus text "
              "format (default path: results/traces/<name>.prom.txt)",
     )
+    add_engine(trace_p)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -349,6 +361,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         measure=args.measure,
         drain=args.drain,
         seed=args.seed,
+        engine=args.engine,
         verify=args.verify or None,
         profile=args.profile,
     )
@@ -420,6 +433,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         measure=args.measure,
         drain=args.drain,
         seed=args.seed,
+        engine=args.engine,
     )
     workers = args.workers if args.workers > 0 else None
     cache = None if args.no_cache else SweepCache(args.cache_dir)
@@ -505,6 +519,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
         title = f"{args.routing} / {args.pattern} / load {args.load}"
+    if args.engine != "reference":
+        config = config.with_(engine=args.engine)
 
     if args.hotspot is not None and args.profile is None:
         print("cr-sim trace: --hotspot needs --profile", file=sys.stderr)

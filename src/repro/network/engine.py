@@ -486,7 +486,11 @@ class Engine:
                 ]
                 if not entries:
                     continue
-                entries.sort(key=lambda e: e[0])
+                # Full deterministic tie-break: out-VC, then input port
+                # and input VC, so equal-priority entries never fall
+                # back to dict insertion order (trace diffs between
+                # engine implementations must be order-stable).
+                entries.sort(key=lambda e: (e[0], e[1].port, e[1].vc))
                 vc, buffer = entries[router.rotate(port, len(entries))]
                 used_inputs.add(buffer.port)
                 self._transfer(router, port, vc, buffer, now)

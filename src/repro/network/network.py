@@ -35,6 +35,7 @@ class WormholeNetwork:
         num_inject: int = 1,
         num_sink: int = 1,
         eject_slots: int = 2,
+        channel_factory=None,
     ) -> None:
         if num_vcs < routing.min_vcs():
             raise ValueError(
@@ -54,6 +55,10 @@ class WormholeNetwork:
         self.num_inject = num_inject
         self.num_sink = num_sink
         self.eject_slots = eject_slots
+        # Channel subclass to instantiate everywhere (the fast engine
+        # swaps in its ledger-reporting channel); must be construction-
+        # compatible with Channel.
+        self._channel_factory = channel_factory or Channel
 
         n = topology.num_nodes
         self.routers: List[Router] = [Router(i, num_vcs) for i in range(n)]
@@ -73,7 +78,9 @@ class WormholeNetwork:
         for node in range(self.topology.num_nodes):
             router = self.routers[node]
             for spec in self.topology.links(node):
-                channel = Channel(node, spec.dst, self.num_vcs, latency)
+                channel = self._channel_factory(
+                    node, spec.dst, self.num_vcs, latency
+                )
                 channel.dim = spec.dim
                 channel.direction = spec.direction
                 channel.is_wrap = spec.is_wrap
@@ -102,7 +109,7 @@ class WormholeNetwork:
             router = self.routers[node]
             ejectors = []
             for _ in range(self.num_sink):
-                channel = Channel(
+                channel = self._channel_factory(
                     node, node, 1, latency, is_ejection=True
                 )
                 router.add_output_channel(channel)
@@ -111,7 +118,7 @@ class WormholeNetwork:
             self.ejection_channels[node] = ejectors
             injectors = []
             for _ in range(self.num_inject):
-                channel = Channel(
+                channel = self._channel_factory(
                     node, node, self.num_vcs, latency, is_injection=True
                 )
                 in_port = router.add_input_port(self.buffer_depth)

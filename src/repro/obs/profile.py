@@ -24,6 +24,7 @@ switch     switch traversal (flit transfers)
 monitor    path-wide + drop-at-block monitors and the watchdog
 sampler    IntervalSampler time-series overhead (when attached)
 checker    InvariantChecker sweep overhead (when attached)
+idle       cycles elided by the fast engine's event skipping
 ========== ==========================================================
 
 Per-phase counters: calls, wall-ns, max single-call ns.  The profiler
@@ -43,6 +44,7 @@ from typing import Any, Dict, List, Optional, Tuple
 PHASES: Tuple[str, ...] = (
     "credit", "fault", "arrival", "ejection", "kill", "traffic",
     "injection", "routing", "switch", "monitor", "sampler", "checker",
+    "idle",
 )
 
 _PHASE_HELP: Dict[str, str] = {
@@ -58,6 +60,7 @@ _PHASE_HELP: Dict[str, str] = {
     "monitor": "progress monitors and the watchdog",
     "sampler": "interval sampler overhead",
     "checker": "invariant checker overhead",
+    "idle": "cycles elided by event skipping (fast engine)",
 }
 
 
@@ -121,6 +124,18 @@ class EngineProfiler:
                 delta[name] = stats.wall_ns - last[name]
                 last[name] = stats.wall_ns
             self.snapshots.append((now + 1, delta))
+
+    def on_idle(self, cycles: int, idle_ns: int) -> None:
+        """Account a span of event-skipped cycles (fast engine).
+
+        The skipped span is attributed to the explicit ``idle`` phase
+        and counted into both the cycle total and the outer step wall
+        time, preserving the phase-sum ≤ step-total invariant that the
+        CI smoke job asserts.
+        """
+        self.phases["idle"].record(idle_ns)
+        self.cycles += cycles
+        self.step_wall_ns += idle_ns
 
     # -- reporting ------------------------------------------------------
 

@@ -118,6 +118,12 @@ class SimConfig:
     seed: int = 42
     queue_cap: int = 64
     watchdog: int = 20000
+    # --- engine implementation -----------------------------------------
+    # "reference" runs the plain per-cycle Engine; "fast" runs
+    # repro.network.fastengine.FastEngine (batched credits, memoised
+    # routing relations, event skipping) — flit-for-flit identical
+    # output, selected purely for speed.
+    engine: str = "reference"
     # --- observability -------------------------------------------------
     # When set, build() attaches a repro.obs.IntervalSampler collecting
     # time-series metrics every N cycles; run_simulation() then reports
@@ -180,6 +186,18 @@ class SimConfig:
 
     def build(self) -> Engine:
         """Construct the engine (network, protocol, traffic, faults)."""
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                "choose 'reference' or 'fast'"
+            )
+        channel_factory = None
+        engine_cls = Engine
+        if self.engine == "fast":
+            from ..network.fastengine import FastEngine, LedgerChannel
+
+            engine_cls = FastEngine
+            channel_factory = LedgerChannel
         topology = self.make_topology()
         routing, mode = self.make_routing(topology)
         num_vcs = self.resolved_num_vcs(routing)
@@ -193,6 +211,7 @@ class SimConfig:
             num_inject=self.num_inject,
             num_sink=self.num_sink,
             eject_slots=self.eject_slots,
+            channel_factory=channel_factory,
         )
         drop_cycles = self.drop_at_block_cycles
         if self.routing == "drop" and drop_cycles is None:
@@ -236,7 +255,7 @@ class SimConfig:
             warmup_end=self.warmup,
             measure_end=self.warmup + self.measure,
         )
-        engine = Engine(
+        engine = engine_cls(
             network,
             protocol=protocol,
             seed=self.seed,

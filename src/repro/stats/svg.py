@@ -15,7 +15,7 @@ No dependencies: the output is a plain SVG string, written by the CLI's
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..network.engine import Engine
@@ -136,6 +136,18 @@ SPARK_GAP = 14
 SPARK_LABEL = 130
 
 
+def _spark_values(values: Sequence[Optional[float]]) -> List[float]:
+    """Sanitize a sampler series for plotting.
+
+    Interval samplers emit ``None`` for windows with nothing to
+    average (an all-quiescent interval under the fast engine's event
+    skipping, or simply no deliveries); plot those as 0.0 — the same
+    convention ``IntervalSampler.to_svg`` uses — instead of letting
+    ``float(None)``/``min`` blow up the whole heartbeat render.
+    """
+    return [0.0 if v is None else float(v) for v in values]
+
+
 def _polyline_points(
     values: Sequence[float], width: int, height: int
 ) -> str:
@@ -160,9 +172,10 @@ def render_sparkline(
     """One series as a bare ``<polyline>`` fragment (no document)."""
     if not values:
         return ""
+    cleaned = _spark_values(values)
     return (
         f'<polyline fill="none" stroke="{colour}" stroke-width="1.5" '
-        f'points="{_polyline_points(values, width, height)}"/>'
+        f'points="{_polyline_points(cleaned, width, height)}"/>'
     )
 
 
@@ -191,13 +204,14 @@ def render_sparkline_rows(
             f'<text x="{width / 2}" y="18" text-anchor="middle" '
             f'font-family="monospace" font-size="13">{title}</text>'
         )
-    for index, (label, values) in enumerate(rows):
+    for index, (label, raw) in enumerate(rows):
         y = top + index * row_height
         parts.append(
             f'<text x="{SPARK_LABEL - 8}" y="{y + SPARK_HEIGHT / 2 + 4}" '
             f'text-anchor="end" font-family="monospace" '
             f'font-size="11">{label}</text>'
         )
+        values = _spark_values(raw)
         if values:
             line = render_sparkline(values)
             parts.append(

@@ -68,6 +68,15 @@ class Hypercube(Topology):
         self.validate_node(dst)
         return bin(src ^ dst).count("1")
 
+    def average_min_distance(self) -> float:
+        """Closed form: each bit differs in exactly half the ordered
+        pairs, so the all-pairs Hamming total is ``dims * n^2 / 2`` —
+        integer arithmetic, bit-identical to the brute-force mean.
+        """
+        n = self._num_nodes
+        total = self.dims * (n * n // 2)
+        return total / (n * (n - 1))
+
     def productive_links(self, node: int, dst: int) -> List[LinkSpec]:
         diff = node ^ dst
         return [

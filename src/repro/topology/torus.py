@@ -106,6 +106,24 @@ class KAryNCube(Topology):
             )
         raise ValueError(f"dor_link called with node == dst ({node})")
 
+    def average_min_distance(self) -> float:
+        """Closed form over the product structure (the base class is
+        O(n^2), which dominates ``SimConfig.build`` at radix 16).
+
+        Distances are per-dimension sums and dimensions are
+        independent, so the all-pairs total is ``dims`` times the
+        one-dimension pair total times the number of coordinate
+        combinations in the other dimensions — all integer arithmetic,
+        so the result is bit-identical to the brute-force mean.
+        """
+        k = self.radix
+        per_dim_total = sum(
+            self._dim_distance(a, b) for a in range(k) for b in range(k)
+        )
+        n = self._num_nodes
+        total = self.dims * per_dim_total * k ** (2 * (self.dims - 1))
+        return total / (n * (n - 1))
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -7,6 +7,13 @@ Arm it per run with ``SimConfig(verify=True)`` (or a tuned
 oracle proving the checkers have teeth.
 """
 
+from .equivalence import (
+    ENGINE_EQUIVALENCE_PRESETS,
+    assert_engines_equivalent,
+    engine_equivalence_presets,
+    iter_fuzz_equivalence_configs,
+    run_engine_snapshot,
+)
 from .fuzz import fuzz_config, repro_command, run_fuzz_case
 from .invariants import InvariantChecker, InvariantViolation, VerifyConfig
 from .mutations import (
@@ -33,4 +40,9 @@ __all__ = [
     "fuzz_config",
     "run_fuzz_case",
     "repro_command",
+    "ENGINE_EQUIVALENCE_PRESETS",
+    "assert_engines_equivalent",
+    "engine_equivalence_presets",
+    "iter_fuzz_equivalence_configs",
+    "run_engine_snapshot",
 ]

@@ -1,0 +1,121 @@
+"""Differential engine-equivalence checking (fast vs. reference).
+
+``FastEngine`` promises flit-for-flit identity with the reference
+engine: same event stream, same report, same final channel state, same
+RNG draw sequence.  This module is the enforcement tool — it runs one
+configuration under both engines (each from a reset message-uid
+counter) and diffs everything observable:
+
+* the full traced event stream (every injection, stall, kill,
+  delivery, fault activation, ... in order);
+* the simulation report (minus the ``profile`` section, which holds
+  wall times);
+* a struct-of-arrays snapshot of final channel state (credits, flits
+  carried, pending credit returns).
+
+``ENGINE_EQUIVALENCE_PRESETS`` pins the configurations named in the
+acceptance criteria: the e01/e07 tracing presets, an e16-style mesh
+without virtual channels, and the seeded fuzz corpus is covered by
+:func:`iter_fuzz_equivalence_configs`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..network.fastengine import channel_state
+from ..network.message import reset_uid_counter
+from ..obs.tracing import config_for_experiment, run_traced
+from ..sim.config import SimConfig
+from .fuzz import DEFAULT_CASES, DEFAULT_SEED, fuzz_config
+
+
+def _e16_config() -> SimConfig:
+    # e16 (Fig. 13): CR on a mesh with no virtual channels — the
+    # paper's "adaptive routing without VCs" headline configuration.
+    return SimConfig(
+        topology="mesh", routing="cr", num_vcs=1, radix=8, dims=2,
+        load=0.3, message_length=16, warmup=300, measure=1500,
+        drain=4000,
+    )
+
+
+def engine_equivalence_presets() -> Dict[str, SimConfig]:
+    """The acceptance presets: e01, e07, and an e16-style mesh run."""
+    return {
+        "e01": config_for_experiment("e01"),
+        "e07": config_for_experiment("e07"),
+        "e16": _e16_config(),
+    }
+
+
+#: preset names, importable for test parametrization.
+ENGINE_EQUIVALENCE_PRESETS = ("e01", "e07", "e16")
+
+
+def run_engine_snapshot(config: SimConfig, engine: str) -> Tuple:
+    """(events, report, channel-state) for ``config`` under ``engine``.
+
+    The message-uid counter is reset first so both runs number their
+    messages identically; the ``profile`` report section is dropped
+    because it holds wall-clock times.
+    """
+    reset_uid_counter()
+    traced = run_traced(config.with_(engine=engine), keep_engine=True)
+    report = dict(traced.report)
+    report.pop("profile", None)
+    return traced.events, report, channel_state(traced.result.engine)
+
+
+def _states_equal(a, b) -> bool:
+    try:  # numpy arrays (channel_state's preferred form)
+        import numpy as np
+    except ImportError:
+        return a == b
+    return all(np.array_equal(a[key], b[key]) for key in a) and set(
+        a
+    ) == set(b)
+
+
+def assert_engines_equivalent(config: SimConfig, label: str = "") -> None:
+    """Run ``config`` under both engines and assert identical output.
+
+    Raises ``AssertionError`` naming the first divergence (event index,
+    report key, or channel-state array) — the format the equivalence
+    tests and the CI job surface on failure.
+    """
+    ref_events, ref_report, ref_state = run_engine_snapshot(
+        config, "reference"
+    )
+    fast_events, fast_report, fast_state = run_engine_snapshot(
+        config, "fast"
+    )
+    prefix = f"{label}: " if label else ""
+    for index, (ref, fast) in enumerate(zip(ref_events, fast_events)):
+        assert ref == fast, (
+            f"{prefix}event {index} diverges:\n"
+            f"  reference: {ref}\n  fast:      {fast}"
+        )
+    assert len(ref_events) == len(fast_events), (
+        f"{prefix}event count diverges: reference {len(ref_events)} "
+        f"vs fast {len(fast_events)}"
+    )
+    for key in sorted(set(ref_report) | set(fast_report)):
+        assert ref_report.get(key) == fast_report.get(key), (
+            f"{prefix}report[{key!r}] diverges"
+        )
+    assert _states_equal(ref_state, fast_state), (
+        f"{prefix}final channel state diverges"
+    )
+
+
+def iter_fuzz_equivalence_configs(
+    seed: int = DEFAULT_SEED, cases: int = DEFAULT_CASES
+) -> Iterator[Tuple[int, SimConfig]]:
+    """The fuzz corpus as (index, config) pairs for equivalence runs.
+
+    The verify checker stays armed (every fuzz config arms it), so each
+    dual run checks both invariants *and* engine identity.
+    """
+    for index in range(cases):
+        yield index, fuzz_config(seed, index)

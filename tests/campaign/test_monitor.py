@@ -258,6 +258,26 @@ class TestRendering:
         assert svg.startswith("<svg")
         assert "point wall s" in svg and "kill rate" in svg
 
+    def test_status_svg_tolerates_null_samples(self):
+        # A heartbeat written mid-point can hold null rate samples
+        # (e.g. an all-quiescent measurement interval).
+        svg = status_svg({
+            "name": "fm",
+            "recent_wall_seconds": [1.0, None, 3.0],
+            "recent_kill_rates": [None],
+        })
+        assert svg.startswith("<svg")
+        assert "point wall s" in svg and "kill rate" in svg
+
+    def test_render_status_tolerates_null_samples(self):
+        text = render_status({
+            "name": "fm", "state": "running",
+            "recent_wall_seconds": [1.0, None],
+            "recent_kill_rates": [None, 0.5],
+        })
+        assert "(last 0.00s)" in text
+        assert "(last 0.500)" in text
+
     def test_finished_status_round_trips_through_render(self, tmp_path):
         db = str(tmp_path / "camp.sqlite")
         spec = tiny_spec()

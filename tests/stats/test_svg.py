@@ -5,7 +5,12 @@ import xml.dom.minidom
 import pytest
 
 from repro import SimConfig, run_simulation
-from repro.stats.svg import _heat_colour, render_network_svg
+from repro.stats.svg import (
+    _heat_colour,
+    render_network_svg,
+    render_sparkline,
+    render_sparkline_rows,
+)
 
 
 def rendered_engine(**overrides):
@@ -74,3 +79,30 @@ class TestRendering:
             dx = float(attrs["x2"]) - float(attrs["x1"])
             dy = float(attrs["y2"]) - float(attrs["y1"])
             assert dx == 0 or dy == 0, f"diagonal link: {line}"
+
+
+class TestSparklines:
+    """Sampler series can hold None (all-quiescent windows)."""
+
+    def test_rows_with_none_samples_render(self):
+        svg = render_sparkline_rows(
+            [("latency", [None, 4.0, None, 2.0]), ("kills", [None, None])],
+            title="quiescent intervals",
+        )
+        xml.dom.minidom.parseString(svg)
+        assert "latency" in svg and "kills" in svg
+        # None plots as 0.0, so the annotations span 0..4.
+        assert "max 4" in svg and "min 0" in svg
+
+    def test_single_none_sample_renders(self):
+        svg = render_sparkline_rows([("latency", [None])])
+        xml.dom.minidom.parseString(svg)
+        assert "<polyline" in svg
+
+    def test_bare_sparkline_tolerates_none(self):
+        fragment = render_sparkline([1.0, None, 3.0])
+        assert fragment.startswith("<polyline")
+
+    def test_empty_rows_still_labelled(self):
+        svg = render_sparkline_rows([("latency", [])])
+        assert "(no samples)" in svg

@@ -66,6 +66,23 @@ class TestRunCommand:
         assert "latency_mean" in out
         assert "fcr on 4-ary 2-torus" in out
 
+    def test_fast_engine_matches_reference(self, capsys):
+        args = [
+            "run", "--routing", "cr", "--radix", "4",
+            "--load", "0.2", "--warmup", "50", "--measure", "200",
+            "--drain", "1500", "--message-length", "8",
+        ]
+        outputs = []
+        for engine in ("reference", "fast"):
+            from repro.network.message import reset_uid_counter
+
+            reset_uid_counter()
+            assert cli_main(args + ["--engine", engine]) == 0
+            outputs.append(capsys.readouterr().out)
+        # Flit-identical engines print flit-identical reports.
+        assert outputs[0] == outputs[1]
+        assert "latency_mean" in outputs[0]
+
     def test_profile_prints_hotspot_table(self, capsys):
         code = cli_main(
             [

@@ -56,9 +56,16 @@ TUNED = {
 }
 
 
-def _config(name: str, mutated: bool) -> SimConfig:
+#: both engines must expose identical mutation/checker behaviour — the
+#: fast engine's inline paths defer to instance-patched methods, so a
+#: planted bug manifests (and is caught) the same way under each.
+ENGINES = ("reference", "fast")
+
+
+def _config(name: str, mutated: bool, engine: str = "reference") -> SimConfig:
     sim_kwargs, verify_kwargs = TUNED[name]
     return SimConfig(
+        engine=engine,
         **sim_kwargs,
         verify=VerifyConfig(
             check_interval=16,
@@ -90,16 +97,18 @@ class TestRegistry:
 
 
 class TestDifferentialOracle:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("name", sorted(TUNED))
-    def test_mutation_is_caught(self, name):
+    def test_mutation_is_caught(self, name, engine):
         with pytest.raises(InvariantViolation) as exc:
-            run_simulation(_config(name, mutated=True))
+            run_simulation(_config(name, mutated=True, engine=engine))
         assert exc.value.invariant == MUTATIONS[name].caught_by
         assert exc.value.report is not None
 
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("name", sorted(TUNED))
-    def test_unmutated_twin_passes(self, name):
+    def test_unmutated_twin_passes(self, name, engine):
         """The exact same configuration without the planted bug holds
         every invariant (the differential half of the oracle)."""
-        result = run_simulation(_config(name, mutated=False))
+        result = run_simulation(_config(name, mutated=False, engine=engine))
         assert result.report["verify"]["checks"] > 0
