@@ -1,0 +1,78 @@
+"""Workload-layer overhead: the Bernoulli shim must ride for ~free.
+
+``SimConfig(workload="bernoulli")`` swaps the legacy
+:class:`~repro.traffic.generator.TrafficGenerator` for a
+:class:`~repro.workload.generator.WorkloadGenerator` holding one
+Bernoulli open-loop source.  The runs are draw-for-draw identical (the
+back-compat tests pin the reports byte-for-byte), so any wall-time gap
+is pure dispatch overhead: the source/window bookkeeping around the
+same per-node RNG draws.  This benchmark bounds that gap end-to-end on
+an e01-style run: min-of-N legacy vs min-of-N shimmed, ratio under
+``OVERHEAD_BUDGET``.
+"""
+
+import time
+
+from overhead_log import record_overhead
+
+from repro import SimConfig
+from repro.network.message import reset_uid_counter
+
+CYCLES = 800
+ROUNDS = 5
+#: maximum tolerated armed-but-Bernoulli slowdown over the legacy path.
+OVERHEAD_BUDGET = 0.05
+
+
+def _config(**overrides):
+    return SimConfig(
+        radix=8, dims=2, routing="cr", load=0.3, message_length=16,
+        warmup=0, measure=CYCLES, seed=99, **overrides,
+    )
+
+
+def _timed_run(config):
+    reset_uid_counter()
+    engine = config.build()
+    start = time.perf_counter()
+    engine.run(CYCLES)
+    return time.perf_counter() - start, engine
+
+
+def test_bernoulli_shim_overhead_under_budget(benchmark):
+    legacy_times, shim_times = [], []
+    legacy_delivered = shim_delivered = 0
+    for _ in range(ROUNDS):
+        elapsed, engine = _timed_run(_config())
+        legacy_times.append(elapsed)
+        legacy_delivered = engine.stats.counters["messages_delivered"]
+        elapsed, engine = _timed_run(_config(workload="bernoulli"))
+        shim_times.append(elapsed)
+        shim_delivered = engine.stats.counters["messages_delivered"]
+
+    # Identical workloads: the comparison is apples-to-apples.
+    assert legacy_delivered == shim_delivered > 100
+
+    # Report the shimmed path in the benchmark table.
+    benchmark.pedantic(
+        lambda: _timed_run(_config(workload="bernoulli")),
+        rounds=1, iterations=1,
+    )
+
+    legacy, shim = min(legacy_times), min(shim_times)
+    overhead = shim / legacy - 1.0
+    print(f"\nworkload overhead: legacy {legacy * 1000:.1f}ms, "
+          f"bernoulli shim {shim * 1000:.1f}ms "
+          f"({overhead * 100:+.2f}%)")
+    record_overhead(
+        "workload", overhead, OVERHEAD_BUDGET,
+        detail={
+            "legacy_ms": round(legacy * 1000, 3),
+            "shim_ms": round(shim * 1000, 3),
+            "delivered": legacy_delivered,
+        },
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        f"bernoulli workload shim costs {overhead:.1%} over the legacy "
+        f"generator, exceeding the {OVERHEAD_BUDGET:.0%} budget"
+    )

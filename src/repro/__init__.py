@@ -163,14 +163,34 @@ from .traffic.patterns import (
     BitReversal,
     Complement,
     Hotspot,
+    Incast,
     NearestNeighbour,
+    Shuffle,
+    Tornado,
     TrafficPattern,
     Transpose,
     Uniform,
     make_pattern,
 )
+from .faults.cascading import LoadDependentFaults, make_cascading
+from .workload import (
+    ArrivalProcess,
+    BernoulliArrivals,
+    GeometricArrivals,
+    MMPPArrivals,
+    OpenLoopSource,
+    ParetoArrivals,
+    RequestReply,
+    ScheduledArrival,
+    WorkloadGenerator,
+    WorkloadSpec,
+    build_workload,
+    load_workload_trace,
+    make_arrivals,
+    save_workload_trace,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # simulation entry points
@@ -275,6 +295,9 @@ __all__ = [
     "BitReversal",
     "Hotspot",
     "NearestNeighbour",
+    "Incast",
+    "Tornado",
+    "Shuffle",
     "make_pattern",
     "LengthDistribution",
     "FixedLength",
@@ -285,6 +308,23 @@ __all__ = [
     "TraceEntry",
     "TraceReplayGenerator",
     "record_trace",
+    # workloads (see repro.workload for the full surface)
+    "ArrivalProcess",
+    "BernoulliArrivals",
+    "GeometricArrivals",
+    "ParetoArrivals",
+    "MMPPArrivals",
+    "make_arrivals",
+    "OpenLoopSource",
+    "RequestReply",
+    "ScheduledArrival",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "build_workload",
+    "load_workload_trace",
+    "save_workload_trace",
+    "LoadDependentFaults",
+    "make_cascading",
     # statistics
     "StatsCollector",
     "LatencySummary",

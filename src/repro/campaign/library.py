@@ -95,9 +95,86 @@ def _paper_core(scale: Scale) -> CampaignSpec:
     })
 
 
+def _workload_matrix(scale: Scale) -> CampaignSpec:
+    """Production traffic shapes x schemes: does CR's edge survive?"""
+    base = _scale_base(scale)
+    base["drain"] = scale.drain * 2
+    load = list(scale.loads)[-1]  # the heaviest load of the scale
+    base["load"] = load
+    return CampaignSpec.from_dict({
+        "name": "workload-matrix",
+        "description": (
+            "production workload shapes (bursty MMPP, heavy-tailed "
+            "Pareto, incast, client-server, phased) x routing scheme "
+            "at the scale's heaviest load"
+        ),
+        "base": base,
+        "axes": {
+            "routing": ["cr", "fcr", "dor"],
+            "workload": [
+                "bernoulli",
+                "mmpp",
+                "pareto",
+                "incast",
+                "client-server",
+                "phased",
+            ],
+        },
+        "seed": scale.seed,
+        "metrics": [
+            "latency_mean", "latency_p99", "throughput", "kill_rate",
+            "undelivered",
+        ],
+    })
+
+
+def _cascade_stress(scale: Scale) -> CampaignSpec:
+    """Sustained bursty overload with load-dependent cascading faults."""
+    base = _scale_base(scale)
+    # Repairs trickle in during the drain, so stragglers eventually
+    # deliver; give them room (the quick scale drains ~10k cycles).
+    base["drain"] = scale.drain * 4
+    base["routing"] = "fcr"
+    base["misrouting"] = True
+    # Tuned so sustained load drives correlated multi-channel outages
+    # (tens of cascade events at the quick scale) while the outage stays
+    # bounded (max_dead_fraction) and everything still delivers once
+    # repairs land — stress, not meltdown.
+    base["cascade_faults"] = {
+        "base_hazard": 1e-6,
+        "load_gain": 8.0,
+        "check_interval": 16,
+        "neighbor_boost": 25.0,
+        "boost_cycles": 192,
+        "max_dead_fraction": 0.06,
+        "repair_cycles": scale.measure * 2 // 5,
+    }
+    return CampaignSpec.from_dict({
+        "name": "cascade-stress",
+        "description": (
+            "FCR under load-induced cascading link failures: bursty "
+            "workloads drive per-channel hazards up, failures boost "
+            "neighbouring hazards, repairs trickle in"
+        ),
+        "base": base,
+        "axes": {
+            "workload": ["bernoulli", "mmpp", "incast"],
+            "load": list(scale.loads)[-2:],
+        },
+        "seed": scale.seed,
+        "metrics": [
+            "latency_mean", "latency_p99", "throughput", "kill_rate",
+            "undelivered", "cascade_channel_faults", "cascade_events",
+            "cascade_clusters", "cascade_repairs",
+        ],
+    })
+
+
 BUILTIN_CAMPAIGNS: Dict[str, SpecFactory] = {
     "fault-matrix": _fault_matrix,
     "paper-core": _paper_core,
+    "workload-matrix": _workload_matrix,
+    "cascade-stress": _cascade_stress,
 }
 
 

@@ -58,8 +58,21 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--message-length", type=int, default=16)
     run_p.add_argument("--pattern", default="uniform")
     run_p.add_argument("--load", type=float, default=0.3)
+    run_p.add_argument(
+        "--workload", default=None, metavar="SPEC",
+        help="production workload spec: bernoulli | geometric | poisson "
+             "| mmpp | pareto | incast | client-server | phased | "
+             "trace:<path>, with optional k=v args after ':' "
+             "(see docs/WORKLOADS.md)",
+    )
     run_p.add_argument("--fault-rate", type=float, default=0.0)
     run_p.add_argument("--permanent-faults", type=int, default=0)
+    run_p.add_argument(
+        "--cascade-faults", default=None, metavar="SPEC",
+        help="load-dependent cascading faults: 'cascade' for defaults "
+             "or 'k=v,...' LoadDependentFaults kwargs "
+             "(see docs/WORKLOADS.md)",
+    )
     run_p.add_argument("--warmup", type=int, default=500)
     run_p.add_argument("--measure", type=int, default=2000)
     run_p.add_argument("--drain", type=int, default=4000)
@@ -108,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--message-length", type=int, default=16)
     sweep_p.add_argument("--pattern", default="uniform")
     sweep_p.add_argument(
+        "--workload", default=None, metavar="SPEC",
+        help="production workload spec (see cr-sim run --workload)",
+    )
+    sweep_p.add_argument(
         "--loads",
         default="0.1,0.2,0.3,0.4",
         help="comma-separated load fractions",
@@ -152,6 +169,10 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--dims", type=int, default=2)
     trace_p.add_argument("--pattern", default="transpose")
     trace_p.add_argument("--load", type=float, default=0.3)
+    trace_p.add_argument(
+        "--workload", default=None, metavar="SPEC",
+        help="production workload spec (see cr-sim run --workload)",
+    )
     trace_p.add_argument("--cycles", type=int, default=1500)
     trace_p.add_argument("--message-length", type=int, default=16)
     trace_p.add_argument("--seed", type=int, default=42)
@@ -234,6 +255,15 @@ def _build_parser() -> argparse.ArgumentParser:
     crun_p.add_argument(
         "--scale", default="quick", choices=["quick", "paper"],
         help="network/run sizing for built-in campaigns",
+    )
+    crun_p.add_argument(
+        "--quick", action="store_true",
+        help="shorthand for --scale quick",
+    )
+    crun_p.add_argument(
+        "--workload", default=None, metavar="SPEC",
+        help="override every grid's workload with this spec "
+             "(see cr-sim run --workload)",
     )
     crun_p.add_argument(
         "--workers", type=int, default=1,
@@ -342,7 +372,27 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _workload_usage_error(args: argparse.Namespace, prog: str):
+    """Validate --workload/--cascade-faults eagerly: misuse exits 2."""
+    try:
+        if getattr(args, "workload", None) is not None:
+            from .workload import WorkloadSpec
+
+            WorkloadSpec.parse(args.workload)
+        if getattr(args, "cascade_faults", None) is not None:
+            from .faults.cascading import make_cascading
+
+            make_cascading(args.cascade_faults)
+    except (TypeError, ValueError) as exc:
+        print(f"cr-sim {prog}: {exc}", file=sys.stderr)
+        return 2
+    return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    error = _workload_usage_error(args, "run")
+    if error is not None:
+        return error
     config = SimConfig(
         topology=args.topology,
         radix=args.radix,
@@ -355,8 +405,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         message_length=args.message_length,
         pattern=args.pattern,
         load=args.load,
+        workload=args.workload,
         fault_rate=args.fault_rate,
         permanent_faults=args.permanent_faults,
+        cascade_faults=args.cascade_faults,
         warmup=args.warmup,
         measure=args.measure,
         drain=args.drain,
@@ -421,6 +473,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .sim.export import rows_to_csv
     from .sim.sweep import load_sweep
 
+    error = _workload_usage_error(args, "sweep")
+    if error is not None:
+        return error
     loads = [float(v) for v in args.loads.split(",") if v.strip()]
     base = SimConfig(
         routing=args.routing,
@@ -429,6 +484,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         num_vcs=args.num_vcs,
         message_length=args.message_length,
         pattern=args.pattern,
+        workload=args.workload,
         warmup=args.warmup,
         measure=args.measure,
         drain=args.drain,
@@ -489,6 +545,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         occupancy_snapshot,
     )
 
+    error = _workload_usage_error(args, "trace")
+    if error is not None:
+        return error
     if args.experiment is not None:
         from .obs import config_for_experiment
 
@@ -521,6 +580,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         title = f"{args.routing} / {args.pattern} / load {args.load}"
     if args.engine != "reference":
         config = config.with_(engine=args.engine)
+    if args.workload is not None:
+        config = config.with_(workload=args.workload)
+        title += f" / workload {args.workload}"
 
     if args.hotspot is not None and args.profile is None:
         print("cr-sim trace: --hotspot needs --profile", file=sys.stderr)
@@ -680,7 +742,21 @@ def _resolve_campaign_spec(name: str, scale_name: str):
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     from .campaign import CampaignPointStatus, CampaignStore, run_campaign
 
-    spec = _resolve_campaign_spec(args.name, args.scale)
+    error = _workload_usage_error(args, "campaign")
+    if error is not None:
+        return error
+    scale = "quick" if getattr(args, "quick", False) else args.scale
+    spec = _resolve_campaign_spec(args.name, scale)
+    if getattr(args, "workload", None) is not None:
+        from .campaign import CampaignSpec
+
+        data = spec.to_dict()
+        if "grids" in data:
+            for body in data["grids"].values():
+                body.setdefault("base", {})["workload"] = args.workload
+        else:
+            data.setdefault("base", {})["workload"] = args.workload
+        spec = CampaignSpec.from_dict(data)
 
     def report(status: CampaignPointStatus) -> None:
         if status.outcome == "skipped":

@@ -132,3 +132,5 @@ class Receiver:
             self.engine.reliability.on_network_delivery(
                 message, corrupt, now
             )
+        if self.engine.delivery_listener is not None:
+            self.engine.delivery_listener.on_delivered(message, now)

@@ -26,9 +26,17 @@ class FaultModel(abc.ABC):
     #: (class attribute so existing subclasses need no __init__ change).
     bus = None
 
+    #: stats collector for fault counters; None when unbound
+    #: (class attribute, same pattern as ``bus``).
+    stats = None
+
     def bind_bus(self, bus) -> None:
         """Point fault emissions at ``bus`` (None to detach)."""
         self.bus = bus
+
+    def bind_stats(self, stats) -> None:
+        """Point fault counters at a StatsCollector (None to detach)."""
+        self.stats = stats
 
     def emit(self, event) -> None:
         """Send ``event`` to the bound bus, if any."""
@@ -59,6 +67,11 @@ class CompositeFaultModel(FaultModel):
         self.bus = bus
         for model in self.models:
             model.bind_bus(bus)
+
+    def bind_stats(self, stats) -> None:
+        self.stats = stats
+        for model in self.models:
+            model.bind_stats(stats)
 
     def on_cycle(self, now: int, network: "WormholeNetwork") -> None:
         for model in self.models:

@@ -164,6 +164,10 @@ class Engine:
         # Self-profiling (repro.obs.profile): same guard discipline --
         # one is-None check per step dispatches to the timed copy.
         self.profiler = None
+        # Workload delivery hook (repro.workload): object with
+        # on_delivered(message, now), called by receivers when a whole
+        # message arrives -- how client-server replies get scheduled.
+        self.delivery_listener = None
 
     # ------------------------------------------------------------------
     # Message admission (traffic generators and examples use this)

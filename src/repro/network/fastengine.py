@@ -58,6 +58,7 @@ except ImportError:  # pragma: no cover - numpy-less fallback
 
 from ..core.kill import KillManager
 from ..core.protocol import KillCause, ProtocolMode
+from ..faults.cascading import LoadDependentFaults
 from ..faults.model import CompositeFaultModel, FaultModel
 from ..faults.permanent import PermanentFaultSchedule
 from ..routing.base import Candidate
@@ -1043,8 +1044,19 @@ class FastEngine(Engine):
                 if generator._cursor < len(entries):
                     trace_next = entries[generator._cursor].cycle
             else:
-                # Unknown generator: assume it may act on any cycle.
-                return 0
+                skip_state = getattr(generator, "skip_state", None)
+                if skip_state is None:
+                    # Unknown generator: assume it may act on any cycle.
+                    return 0
+                # Workload protocol: the generator classifies this
+                # cycle itself (see WorkloadGenerator.skip_state).
+                state, cycle = skip_state(now)
+                if state == "busy":
+                    return 0
+                if state == "paced":
+                    paced = True
+                elif cycle < trace_next:
+                    trace_next = cycle
         fault_next = self._fault_next_event(self.fault_model)
         if fault_next is None:
             return 0
@@ -1211,6 +1223,10 @@ class FastEngine(Engine):
                 if child_next < nxt:
                     nxt = child_next
             return nxt
+        if cls is LoadDependentFaults:
+            # Acts only on check_interval boundaries; off-boundary
+            # cycles are provable no-ops (see repro.faults.cascading).
+            return model.next_event(self.now)
         # Unknown on_cycle override: its hook may act any cycle, so
         # event skipping is off (the fast per-cycle path still runs it).
         return None

@@ -399,6 +399,18 @@ COUNTER_HELP: Dict[str, str] = {
     "late_corruption": "Corruption seen too late to FKILL (must stay 0).",
     "generation_blocked": "Offered messages dropped at full source "
                           "queues.",
+    "workload_requests": "Client-server requests admitted at client "
+                         "nodes (repro.workload).",
+    "workload_replies": "Server replies admitted after request "
+                        "delivery (repro.workload).",
+    "cascade_channel_faults": "Channels killed by the load-dependent "
+                              "cascading fault model.",
+    "cascade_events": "Failure clusters that grew past one channel "
+                      "(correlated outages).",
+    "cascade_clusters": "Distinct failure clusters started by the "
+                        "cascading fault model.",
+    "cascade_repairs": "Channels restored by the cascading model's "
+                       "repair timers.",
 }
 
 

@@ -107,10 +107,20 @@ class SimConfig:
     # Trace-driven workload (overrides the stochastic generator): every
     # scheme replaying the same trace sees byte-identical arrivals.
     trace: Optional[Any] = None
+    # Production workload spec (repro.workload): a kind string
+    # ("mmpp", "pareto:alpha=1.4", "incast:period=64", "client-server",
+    # "phased", "trace:<path>"), a dict ({"kind": ...}), or a
+    # WorkloadSpec.  None keeps the legacy Bernoulli generator;
+    # "bernoulli" is its draw-for-draw equivalent through the new layer.
+    workload: Optional[Any] = None
     # --- faults --------------------------------------------------------
     fault_rate: float = 0.0
     permanent_faults: int = 0
     fault_model: Optional[FaultModel] = None
+    # Load-dependent cascading faults (repro.faults.cascading): True for
+    # defaults, a dict/"k=v,..." string of LoadDependentFaults kwargs,
+    # or an instance.  Composes with the other fault fields.
+    cascade_faults: Optional[Any] = None
     # --- run phases ----------------------------------------------------
     warmup: int = 1000
     measure: int = 4000
@@ -237,9 +247,18 @@ class SimConfig:
             ),
         )
         if self.trace is not None:
+            if self.workload is not None:
+                raise ValueError(
+                    "trace and workload are mutually exclusive; use "
+                    "workload='trace:<path>' for trace-driven workloads"
+                )
             from ..traffic.trace import TraceReplayGenerator
 
             generator = TraceReplayGenerator(self.trace)
+        elif self.workload is not None:
+            from ..workload import build_workload
+
+            generator = build_workload(self, topology)
         else:
             lengths = self.make_lengths()
             rate = injection_rate(topology, self.load, lengths.mean())
@@ -265,6 +284,10 @@ class SimConfig:
             watchdog=self.watchdog,
             queue_cap=self.queue_cap,
         )
+        if getattr(generator, "wants_delivery_hook", False):
+            engine.delivery_listener = generator
+        if engine.fault_model is not None:
+            engine.fault_model.bind_stats(stats)
         if self.software_retry:
             from ..core.swretry import SoftwareReliability
 
@@ -315,6 +338,12 @@ class SimConfig:
                 network, self.permanent_faults, rng, cycle=0
             )
             models.append(PermanentFaultSchedule(faults))
+        if self.cascade_faults is not None:
+            from ..faults.cascading import make_cascading
+
+            models.append(
+                make_cascading(self.cascade_faults, seed=self.seed + 3)
+            )
         if not models:
             return None
         if len(models) == 1:

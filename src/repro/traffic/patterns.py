@@ -118,6 +118,73 @@ class NearestNeighbour(TrafficPattern):
         return rng.choice(links).dst
 
 
+class Incast(TrafficPattern):
+    """Many-to-few: every client targets one of a small set of sinks.
+
+    The classic datacenter incast shape — N clients fan in to one (or a
+    few) server nodes, concentrating load on the sinks' ejection
+    channels.  Sink nodes themselves send nothing.
+    """
+
+    name = "incast"
+
+    def __init__(self, sinks=(0,)) -> None:
+        if isinstance(sinks, int):
+            sinks = (sinks,)
+        self.sinks = tuple(sorted(set(sinks)))
+        if not self.sinks:
+            raise ValueError("incast needs at least one sink node")
+        self._sink_set = frozenset(self.sinks)
+
+    def destination(self, topology, src, rng):
+        if src in self._sink_set:
+            return None
+        if len(self.sinks) == 1:
+            return self.sinks[0]
+        return self.sinks[rng.randrange(len(self.sinks))]
+
+
+class Tornado(TrafficPattern):
+    """Half-way-around permutation: c -> (c + ceil(k/2) - 1) mod k.
+
+    The adversarial pattern for tori: every hop of the route fights the
+    same direction, defeating load balance in minimal routing.
+    """
+
+    name = "tornado"
+
+    def destination(self, topology, src, rng):
+        radix = getattr(topology, "radix", None)
+        if radix is None:
+            n = topology.num_nodes
+            dst = (src + n // 2) % n
+        else:
+            shift = -(-radix // 2) - 1  # ceil(k/2) - 1
+            coords = topology.coords(src)
+            dst = topology.node_at(
+                tuple((c + shift) % radix for c in coords)
+            )
+        return None if dst == src else dst
+
+
+class Shuffle(TrafficPattern):
+    """Perfect shuffle: rotate the node-id bits left by one.
+
+    Requires a power-of-two node count; the FFT/sorting-network
+    communication pattern.
+    """
+
+    name = "shuffle"
+
+    def destination(self, topology, src, rng):
+        n = topology.num_nodes
+        if n & (n - 1):
+            raise ValueError("shuffle needs a power-of-two node count")
+        bits = n.bit_length() - 1
+        dst = ((src << 1) | (src >> (bits - 1))) & (n - 1)
+        return None if dst == src else dst
+
+
 def make_pattern(name: str, **kwargs) -> TrafficPattern:
     """Factory by name (used by the config layer)."""
     patterns = {
@@ -127,6 +194,9 @@ def make_pattern(name: str, **kwargs) -> TrafficPattern:
         BitReversal.name: BitReversal,
         Hotspot.name: Hotspot,
         NearestNeighbour.name: NearestNeighbour,
+        Incast.name: Incast,
+        Tornado.name: Tornado,
+        Shuffle.name: Shuffle,
     }
     try:
         cls = patterns[name]

@@ -9,10 +9,12 @@ oracle proving the checkers have teeth.
 
 from .equivalence import (
     ENGINE_EQUIVALENCE_PRESETS,
+    WORKLOAD_EQUIVALENCE_PRESETS,
     assert_engines_equivalent,
     engine_equivalence_presets,
     iter_fuzz_equivalence_configs,
     run_engine_snapshot,
+    workload_equivalence_configs,
 )
 from .fuzz import fuzz_config, repro_command, run_fuzz_case
 from .invariants import InvariantChecker, InvariantViolation, VerifyConfig
@@ -41,8 +43,10 @@ __all__ = [
     "run_fuzz_case",
     "repro_command",
     "ENGINE_EQUIVALENCE_PRESETS",
+    "WORKLOAD_EQUIVALENCE_PRESETS",
     "assert_engines_equivalent",
     "engine_equivalence_presets",
     "iter_fuzz_equivalence_configs",
     "run_engine_snapshot",
+    "workload_equivalence_configs",
 ]

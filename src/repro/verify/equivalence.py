@@ -109,6 +109,54 @@ def assert_engines_equivalent(config: SimConfig, label: str = "") -> None:
     )
 
 
+def workload_equivalence_configs() -> Dict[str, SimConfig]:
+    """The workload corpus: every repro.workload mode plus cascades.
+
+    Small networks and short phases keep the dual runs quick; each
+    config exercises a distinct fast-engine skip path — per-cycle-draw
+    pacing (MMPP), renewal wake events (Pareto), pure scheduled
+    arrivals (incast, trace), delivery-triggered replies
+    (client-server), phase windows (phased), and check-interval
+    boundaries (cascade).
+    """
+    base = SimConfig(
+        radix=4, dims=2, message_length=8, load=0.3,
+        warmup=60, measure=300, drain=1500, seed=11,
+    )
+    return {
+        "mmpp": base.with_(workload="mmpp:mean_on=16,mean_off=48"),
+        "pareto": base.with_(workload="pareto:alpha=1.3"),
+        "incast": base.with_(workload="incast:period=32,fanin=4"),
+        "client-server": base.with_(
+            workload="client-server:servers=2,service=4", drain=4000
+        ),
+        "phased": base.with_(workload="phased"),
+        "trace": base.with_(workload={
+            "kind": "trace",
+            "entries": [
+                (0, 1, 14, 8), (0, 2, 13, 6), (5, 3, 12, 8),
+                (40, 4, 11, 8), (41, 5, 10, 4), (200, 6, 9, 8),
+                (260, 7, 8, 8), (261, 0, 15, 8),
+            ],
+        }),
+        "cascade": base.with_(
+            routing="fcr", misrouting=True, workload="mmpp",
+            drain=4000,
+            cascade_faults=(
+                "base_hazard=1e-4,load_gain=8,check_interval=16,"
+                "neighbor_boost=10,boost_cycles=96,repair_cycles=300"
+            ),
+        ),
+    }
+
+
+#: workload preset names, importable for test parametrization.
+WORKLOAD_EQUIVALENCE_PRESETS = (
+    "mmpp", "pareto", "incast", "client-server", "phased", "trace",
+    "cascade",
+)
+
+
 def iter_fuzz_equivalence_configs(
     seed: int = DEFAULT_SEED, cases: int = DEFAULT_CASES
 ) -> Iterator[Tuple[int, SimConfig]]:

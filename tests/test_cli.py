@@ -304,3 +304,21 @@ class TestUsageExitCodes:
     def test_trace_unknown_preset_exits_2(self, capsys):
         assert cli_main(["trace", "e99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "--workload", "zipf"],
+        ["sweep", "--loads", "0.1", "--workload", "zipf"],
+        ["trace", "--workload", "zipf"],
+        ["campaign", "run", "fault-matrix", "--workload", "zipf"],
+    ])
+    def test_unknown_workload_exits_2(self, argv, capsys):
+        assert cli_main(argv) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload kind" in err
+        assert "mmpp" in err  # the message lists the choices
+
+    def test_malformed_cascade_spec_exits_2(self, capsys):
+        assert cli_main(
+            ["run", "--cascade-faults", "base_hazard"]
+        ) == 2
+        assert "key=value" in capsys.readouterr().err

@@ -1,0 +1,243 @@
+"""Arrival-process statistics: rates, tails, dwells, independence."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.workload.arrivals import (
+    ARRIVAL_KINDS,
+    BernoulliArrivals,
+    GeometricArrivals,
+    MMPPArrivals,
+    ParetoArrivals,
+    make_arrivals,
+)
+
+quick = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def empirical_rate(process, nodes=4, cycles=20000, seed=3):
+    """Mean emits per node per cycle over a long window."""
+    process.bind(nodes, seed)
+    total = 0
+    for now in range(cycles):
+        for node in range(nodes):
+            total += process.emits(node, now)
+    return total / (nodes * cycles)
+
+
+class TestFactory:
+    def test_unknown_kind_lists_choices(self):
+        with pytest.raises(ValueError) as excinfo:
+            make_arrivals("bursty", 0.1)
+        message = str(excinfo.value)
+        for name in ARRIVAL_KINDS:
+            assert name in message
+
+    def test_poisson_aliases_geometric(self):
+        assert isinstance(make_arrivals("poisson", 0.1),
+                          GeometricArrivals)
+
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            make_arrivals("bernoulli", -0.1)
+        with pytest.raises(ValueError):
+            make_arrivals("geometric", 1.5)
+        with pytest.raises(ValueError):
+            ParetoArrivals(0.1, alpha=1.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(0.1, mean_on=0.5)
+
+
+class TestMeanRates:
+    """Every process achieves its configured long-run mean rate."""
+
+    @pytest.mark.parametrize("kind", ["bernoulli", "geometric", "mmpp"])
+    def test_mean_rate_within_tolerance(self, kind):
+        rate = 0.08
+        measured = empirical_rate(make_arrivals(kind, rate))
+        assert measured == pytest.approx(rate, rel=0.15)
+
+    def test_pareto_mean_rate(self):
+        # Heavy tails converge slowly; use a longer window and a
+        # looser tolerance.
+        rate = 0.08
+        measured = empirical_rate(
+            make_arrivals("pareto", rate, alpha=1.8), cycles=60000
+        )
+        assert measured == pytest.approx(rate, rel=0.3)
+
+    def test_zero_rate_is_idle(self):
+        for kind in ("bernoulli", "geometric", "pareto", "mmpp"):
+            process = make_arrivals(kind, 0.0)
+            assert process.idle()
+            process.bind(2, 1)
+            assert all(
+                process.emits(node, now) == 0
+                for now in range(50) for node in range(2)
+            )
+
+    @quick
+    @given(
+        rate=st.sampled_from([0.02, 0.05, 0.1, 0.2]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_geometric_rate_property(self, rate, seed):
+        process = GeometricArrivals(rate)
+        measured = empirical_rate(process, nodes=2, cycles=15000,
+                                  seed=seed)
+        assert measured == pytest.approx(rate, rel=0.2)
+
+
+class TestParetoTail:
+    """Pareto gaps are heavy-tailed: the sample max grows with n."""
+
+    def gaps(self, process, count, seed=5):
+        rng = random.Random(seed)
+        return [process._gap(rng) for _ in range(count)]
+
+    def test_sample_max_grows_superlinearly(self):
+        process = ParetoArrivals(0.1, alpha=1.3)
+        small = max(self.gaps(process, 100))
+        large = max(self.gaps(process, 10000))
+        # For alpha=1.3 the max of 100x more samples should be much
+        # more than the light-tail ~log(100) factor larger.
+        assert large > small * 5
+
+    def test_heavier_than_geometric(self):
+        # Same mean gap; the Pareto max dominates the geometric max.
+        pareto = ParetoArrivals(0.1, alpha=1.3)
+        geometric = GeometricArrivals(0.1)
+        pareto_max = max(self.gaps(pareto, 5000))
+        geometric_max = max(self.gaps(geometric, 5000))
+        assert pareto_max > 3 * geometric_max
+
+    def test_gap_floor_is_scale(self):
+        process = ParetoArrivals(0.2, alpha=1.5)
+        assert all(g >= process.xm for g in self.gaps(process, 1000))
+
+
+class TestMMPPDwells:
+    """ON/OFF dwell times follow the configured geometric means."""
+
+    def dwell_runs(self, mean_on, mean_off, cycles=60000):
+        process = MMPPArrivals(0.05, mean_on=mean_on, mean_off=mean_off)
+        process.bind(1, 9)
+        runs = {True: [], False: []}
+        state = process._on[0]
+        length = 0
+        for now in range(cycles):
+            process.emits(0, now)
+            if process._on[0] == state:
+                length += 1
+            else:
+                runs[state].append(length)
+                state = process._on[0]
+                length = 1
+        return runs
+
+    def test_dwell_means(self):
+        runs = self.dwell_runs(mean_on=20.0, mean_off=60.0)
+        assert len(runs[True]) > 100
+        on_mean = sum(runs[True]) / len(runs[True])
+        off_mean = sum(runs[False]) / len(runs[False])
+        assert on_mean == pytest.approx(20.0, rel=0.25)
+        assert off_mean == pytest.approx(60.0, rel=0.25)
+
+    def test_silent_while_off(self):
+        process = MMPPArrivals(0.1, mean_on=8.0, mean_off=24.0)
+        process.bind(1, 4)
+        for now in range(5000):
+            was_off = not process._on[0]
+            emitted = process.emits(0, now)
+            still_off = not process._on[0]
+            if was_off and still_off:
+                assert emitted == 0
+
+    def test_on_rate_boosted_over_duty_cycle(self):
+        process = MMPPArrivals(0.1, mean_on=32.0, mean_off=96.0)
+        assert process.rate_on == pytest.approx(0.4)
+
+
+class TestPerNodeIndependence:
+    """Node i's stream is a pure function of (seed, i)."""
+
+    @pytest.mark.parametrize("kind", ["geometric", "pareto", "mmpp"])
+    def test_stream_ignores_node_count(self, kind):
+        # The same node produces the same arrival sequence whether it
+        # shares the network with 3 or 15 other nodes.
+        a = make_arrivals(kind, 0.1)
+        b = make_arrivals(kind, 0.1)
+        a.bind(4, seed=77)
+        b.bind(16, seed=77)
+        emits_a = [
+            [a.emits(node, now) for node in range(4)]
+            for now in range(2000)
+        ]
+        emits_b = [
+            [b.emits(node, now) for node in range(4)]
+            for now in range(2000)
+        ]
+        assert emits_a == emits_b
+
+    def test_nodes_differ_under_one_seed(self):
+        process = GeometricArrivals(0.1)
+        process.bind(4, seed=77)
+        sequences = {}
+        for node in range(4):
+            sequences[node] = tuple(
+                process.emits(node, now) for now in range(3000)
+            )
+        assert len(set(sequences.values())) == 4
+
+    def test_bernoulli_is_shared_stream(self):
+        # The back-compat shim deliberately interleaves every node on
+        # ONE stream, exactly like the legacy generator.
+        process = BernoulliArrivals(0.5)
+        process.bind(4, seed=3)
+        reference = random.Random(3)
+        for now in range(200):
+            for node in range(4):
+                expected = 0 if reference.random() >= 0.5 else 1
+                assert process.emits(node, now) == expected
+                assert process.rng_for(node) is process._rng
+
+    @quick
+    @given(seed=st.integers(0, 2**20))
+    def test_binding_is_deterministic(self, seed):
+        a = MMPPArrivals(0.1)
+        b = MMPPArrivals(0.1)
+        a.bind(6, seed)
+        b.bind(6, seed)
+        assert a._on == b._on and a._dwell == b._dwell
+
+
+class TestSkipContract:
+    """next_arrival names the next cycle for scheduled processes."""
+
+    def test_renewal_next_arrival(self):
+        process = GeometricArrivals(0.05)
+        process.bind(3, 1)
+        first = process.next_arrival(0)
+        assert first >= 0
+        # Nothing emits before the announced arrival cycle.
+        for now in range(int(first)):
+            assert all(
+                process.emits(node, now) == 0 for node in range(3)
+            )
+
+    def test_per_cycle_processes_report_now(self):
+        for kind in ("bernoulli", "mmpp"):
+            process = make_arrivals(kind, 0.1)
+            assert process.per_cycle_draws
+            assert process.next_arrival(42) == 42
+
+    def test_renewal_is_not_per_cycle(self):
+        for kind in ("geometric", "pareto"):
+            assert not make_arrivals(kind, 0.1).per_cycle_draws

@@ -1,0 +1,57 @@
+"""Draw-for-draw back-compat: workload="bernoulli" == legacy generator.
+
+The Bernoulli arrival shim wrapped in :class:`WorkloadGenerator` must
+reproduce the legacy :class:`TrafficGenerator` RNG draw sequence *draw
+for draw*, so whole-run reports are byte-identical — the guarantee that
+lets every existing experiment preset opt into the workload layer
+without perturbing a single published number.
+"""
+
+import pytest
+
+from repro.network.message import reset_uid_counter
+from repro.sim.simulator import run_simulation
+from repro.obs.tracing import config_for_experiment
+from repro.verify.fuzz import DEFAULT_CASES, DEFAULT_SEED, fuzz_config
+from repro.workload import WorkloadGenerator
+
+
+def _report(config):
+    reset_uid_counter()
+    report = dict(run_simulation(config).report)
+    report.pop("profile", None)  # wall-clock times differ run to run
+    return report
+
+
+def _strip_workload_keys(report):
+    return {
+        key: value for key, value in report.items()
+        if not key.startswith("workload_")
+    }
+
+
+def assert_backcompat(config, label):
+    legacy = _report(config.with_(workload=None))
+    shimmed = _report(config.with_(workload="bernoulli"))
+    assert _strip_workload_keys(shimmed) == legacy, (
+        f"{label}: workload='bernoulli' diverges from the legacy "
+        "generator"
+    )
+
+
+class TestBernoulliShim:
+    def test_e01_preset_byte_identical(self):
+        assert_backcompat(config_for_experiment("e01"), "e01")
+
+    @pytest.mark.parametrize("index", range(DEFAULT_CASES))
+    def test_fuzz_corpus_byte_identical(self, index):
+        config = fuzz_config(DEFAULT_SEED, index)
+        assert_backcompat(config, f"fuzz case {index}")
+
+    def test_shim_builds_workload_generator(self, tiny_config):
+        config = tiny_config.with_(workload="bernoulli")
+        result = run_simulation(config, keep_engine=True)
+        assert isinstance(result.engine.generator, WorkloadGenerator)
+        assert result.engine.generator.generated == (
+            result.report["messages_created"]
+        )

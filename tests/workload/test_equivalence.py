@@ -1,0 +1,34 @@
+"""Fast-engine equivalence across the workload corpus.
+
+Every workload mode exercises a distinct fast-engine skip path (paced
+per-cycle draws, renewal wake events, scheduled arrivals, delivery-
+triggered replies, phase windows, cascade check boundaries); each must
+stay flit-for-flit identical to the reference engine.
+"""
+
+import pytest
+
+from repro.verify import (
+    WORKLOAD_EQUIVALENCE_PRESETS,
+    assert_engines_equivalent,
+    workload_equivalence_configs,
+)
+
+
+@pytest.mark.parametrize("name", WORKLOAD_EQUIVALENCE_PRESETS)
+def test_workload_preset_equivalence(name):
+    config = workload_equivalence_configs()[name]
+    assert_engines_equivalent(config, label=name)
+
+
+def test_corpus_covers_every_workload_kind():
+    from repro.workload import WORKLOAD_KINDS, WorkloadSpec
+
+    covered = set()
+    for config in workload_equivalence_configs().values():
+        covered.add(WorkloadSpec.parse(config.workload).kind)
+    # bernoulli/geometric are covered by the (stronger) byte-identity
+    # back-compat corpus; poisson aliases geometric.
+    assert covered >= set(WORKLOAD_KINDS) - {
+        "bernoulli", "geometric", "poisson"
+    }

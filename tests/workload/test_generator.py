@@ -1,0 +1,336 @@
+"""Workload generator semantics: specs, bursts, replies, skip protocol."""
+
+import random
+
+import pytest
+
+from repro import SimConfig, make_pattern, torus
+from repro.network.message import reset_uid_counter
+from repro.sim.simulator import run_simulation
+from repro.traffic.lengths import FixedLength
+from repro.traffic.patterns import Incast, Shuffle, Tornado, Uniform
+from repro.workload import (
+    OpenLoopSource,
+    RequestReply,
+    ScheduledArrival,
+    WorkloadGenerator,
+    WorkloadSpec,
+    build_workload,
+    incast_bursts,
+    make_arrivals,
+)
+
+
+def run(config):
+    reset_uid_counter()
+    return run_simulation(config, keep_engine=True)
+
+
+@pytest.fixture
+def base_config():
+    return SimConfig(
+        radix=4, dims=2, message_length=8, load=0.25,
+        warmup=60, measure=300, drain=4000, seed=7,
+    )
+
+
+class TestWorkloadSpecParse:
+    def test_bare_string(self):
+        spec = WorkloadSpec.parse("mmpp")
+        assert spec.kind == "mmpp" and spec.params == {}
+
+    def test_string_with_params(self):
+        spec = WorkloadSpec.parse("incast:period=32,fanin=4")
+        assert spec.kind == "incast"
+        assert spec.params == {"period": 32, "fanin": 4}
+
+    def test_param_coercion(self):
+        spec = WorkloadSpec.parse("pareto:alpha=1.4")
+        assert spec.params["alpha"] == pytest.approx(1.4)
+        spec = WorkloadSpec.parse("client-server:process=mmpp")
+        assert spec.params["process"] == "mmpp"
+
+    def test_trace_path_taken_verbatim(self):
+        spec = WorkloadSpec.parse("trace:results/a=b:c.jsonl")
+        assert spec.kind == "trace"
+        assert spec.params == {"path": "results/a=b:c.jsonl"}
+
+    def test_dict_form(self):
+        spec = WorkloadSpec.parse({"kind": "mmpp", "mean_on": 16})
+        assert spec.kind == "mmpp"
+        assert spec.params == {"mean_on": 16}
+
+    def test_spec_passthrough(self):
+        spec = WorkloadSpec("phased")
+        assert WorkloadSpec.parse(spec) is spec
+
+    def test_unknown_kind_lists_choices(self):
+        with pytest.raises(ValueError, match="incast"):
+            WorkloadSpec.parse("lognormal")
+
+    def test_dict_without_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            WorkloadSpec.parse({"period": 32})
+
+    def test_malformed_parameter(self):
+        with pytest.raises(ValueError, match="key=value"):
+            WorkloadSpec.parse("mmpp:mean_on")
+
+    def test_wrong_type(self):
+        with pytest.raises(TypeError):
+            WorkloadSpec.parse(42)
+
+
+class TestIncastBursts:
+    def setup_method(self):
+        self.topo = torus(4, 2)
+        self.lengths = FixedLength(8)
+
+    def bursts(self, **kwargs):
+        defaults = dict(
+            topology=self.topo, lengths=self.lengths, rate=0.1,
+            seed=3, start=0, stop=256, period=64, fanin=4, sinks=[0],
+        )
+        defaults.update(kwargs)
+        return incast_bursts(**defaults)
+
+    def test_periodic_bursts_of_fanin_clients(self):
+        entries = self.bursts()
+        cycles = sorted({e.cycle for e in entries})
+        assert cycles == [0, 64, 128, 192]
+        for cycle in cycles:
+            burst = [e for e in entries if e.cycle == cycle]
+            assert len(burst) == 4
+            assert len({e.src for e in burst}) == 4  # distinct clients
+            assert all(e.dst == 0 and e.src != 0 for e in burst)
+
+    def test_sinks_rotate(self):
+        entries = self.bursts(sinks=[0, 5])
+        by_cycle = {}
+        for e in entries:
+            by_cycle.setdefault(e.cycle, set()).add(e.dst)
+        assert by_cycle[0] == {0}
+        assert by_cycle[64] == {5}
+        assert by_cycle[128] == {0}
+
+    def test_fanin_clamped_to_clients(self):
+        entries = self.bursts(fanin=99)
+        burst = [e for e in entries if e.cycle == 0]
+        assert len(burst) == self.topo.num_nodes - 1
+
+    def test_deterministic_per_seed(self):
+        assert self.bursts() == self.bursts()
+        assert self.bursts(seed=4) != self.bursts()
+
+    def test_default_fanin_targets_load(self, base_config):
+        from repro.traffic.loads import injection_rate
+
+        for load in (0.05, 0.25):
+            config = base_config.with_(
+                load=load, workload="incast:period=40"
+            )
+            gen = build_workload(config, self.topo)
+            burst = [e for e in gen._entries if e.cycle == 0]
+            rate = injection_rate(self.topo, load, 8.0)
+            # Default fanin recovers the configured offered load,
+            # clamped to the 15 non-sink clients.
+            expected = min(
+                max(1, round(rate * self.topo.num_nodes * 40)), 15
+            )
+            assert len(burst) == expected
+            assert expected > 1  # the check has teeth at both loads
+
+
+class TestScheduledAdmission:
+    def test_inline_trace_replays_every_entry(self, base_config):
+        entries = [
+            (0, 1, 14, 8), (0, 2, 13, 6), (5, 3, 12, 8), (80, 4, 11, 4),
+        ]
+        result = run(base_config.with_(
+            workload={"kind": "trace", "entries": entries}
+        ))
+        gen = result.engine.generator
+        assert gen.replayed == len(entries)
+        assert gen.exhausted
+        assert result.report["messages_delivered"] == len(entries)
+
+    def test_pending_entries_block_exhaustion(self):
+        topo = torus(4, 2)
+        gen = WorkloadGenerator(
+            topo, scheduled=[ScheduledArrival(100, 0, 5, 8)], seed=1
+        )
+        assert not gen.exhausted
+        assert gen.skip_state(0) == ("at", 100)
+
+
+class TestClientServer:
+    def test_request_reply_accounting(self, base_config):
+        result = run(base_config.with_(
+            workload="client-server:servers=2,service=4"
+        ))
+        gen = result.engine.generator
+        assert gen.requests_sent > 0
+        assert gen.replies_sent > 0
+        # Every reply answers exactly one request; with a full drain no
+        # request is left outstanding or queued.
+        assert gen.replies_sent == gen.requests_sent
+        assert not gen._outstanding and not gen._replies
+        assert result.report["workload_requests"] == gen.requests_sent
+        assert result.report["workload_replies"] == gen.replies_sent
+
+    def test_replies_target_the_requesting_client(self):
+        topo = torus(4, 2)
+        rr = RequestReply([0], FixedLength(4), service_time=6, seed=2)
+        gen = WorkloadGenerator(topo, request_reply=rr, seed=2)
+
+        class Delivered:
+            uid, src, dst = 17, 9, 0
+
+        gen._outstanding.add(17)
+        gen.on_delivered(Delivered, now=50)
+        due, _, server, client, length = gen._replies[0]
+        assert (due, server, client, length) == (56, 0, 9, 4)
+
+    def test_untracked_delivery_is_ignored(self):
+        topo = torus(4, 2)
+        rr = RequestReply([0], FixedLength(4), seed=2)
+        gen = WorkloadGenerator(topo, request_reply=rr, seed=2)
+
+        class Delivered:
+            uid, src, dst = 99, 3, 0
+
+        gen.on_delivered(Delivered, now=10)
+        assert not gen._replies
+
+    def test_reply_lengths_are_per_server_deterministic(self):
+        lengths = FixedLength(8)
+        a = RequestReply([2, 5], lengths, seed=9)
+        b = RequestReply([2, 5], lengths, seed=9)
+        assert [a.reply_length(2) for _ in range(10)] == [
+            b.reply_length(2) for _ in range(10)
+        ]
+
+    def test_server_validation(self):
+        with pytest.raises(ValueError):
+            RequestReply([], FixedLength(4))
+        with pytest.raises(ValueError):
+            RequestReply([0], FixedLength(4), service_time=-1)
+
+
+class TestPhased:
+    def test_three_phase_windows(self, base_config):
+        config = base_config.with_(workload="phased")
+        gen = build_workload(config, torus(4, 2))
+        stop = config.warmup + config.measure  # 360
+        warm, burst = gen.sources
+        assert (warm.start, warm.stop) == (0, 120)
+        assert (burst.start, burst.stop) == (120, 240)
+        cycles = sorted({e.cycle for e in gen._entries})
+        assert cycles[0] == 240 and cycles[-1] < stop
+        assert all(b - a == 48 for a, b in zip(cycles, cycles[1:]))
+
+    def test_collective_is_one_message_per_sender(self, base_config):
+        gen = build_workload(
+            base_config.with_(workload="phased"), torus(4, 2)
+        )
+        first = [e for e in gen._entries if e.cycle == 240]
+        srcs = [e.src for e in first]
+        assert len(srcs) == len(set(srcs))
+        assert all(e.src != e.dst for e in first)
+
+
+class TestSkipState:
+    def setup_method(self):
+        self.topo = torus(4, 2)
+        self.lengths = FixedLength(8)
+
+    def source(self, kind, rate=0.1, start=0, stop=None):
+        return OpenLoopSource(
+            make_arrivals(kind, rate), Uniform(), self.lengths,
+            start=start, stop=stop,
+        )
+
+    def test_per_cycle_source_is_paced(self):
+        gen = WorkloadGenerator(
+            self.topo, sources=[self.source("bernoulli")], seed=1
+        )
+        assert gen.skip_state(10) == ("paced", 10)
+
+    def test_renewal_source_names_next_arrival(self):
+        gen = WorkloadGenerator(
+            self.topo, sources=[self.source("geometric")], seed=1
+        )
+        state, cycle = gen.skip_state(0)
+        assert state == "at"
+        assert cycle == gen.sources[0].process.next_arrival(0)
+
+    def test_future_window_is_a_wake_event(self):
+        gen = WorkloadGenerator(
+            self.topo, sources=[self.source("bernoulli", start=500)],
+            seed=1,
+        )
+        assert gen.skip_state(10) == ("at", 500)
+
+    def test_closed_window_never_wakes(self):
+        gen = WorkloadGenerator(
+            self.topo,
+            sources=[self.source("bernoulli", start=0, stop=100)],
+            seed=1,
+        )
+        assert gen.skip_state(100) == ("at", float("inf"))
+
+    def test_pending_admission_is_busy(self):
+        gen = WorkloadGenerator(self.topo, seed=1)
+        gen._pending.append(ScheduledArrival(5, 0, 3, 8))
+        assert gen.skip_state(9) == ("busy", 9)
+
+    def test_queued_reply_is_a_wake_event(self):
+        rr = RequestReply([0], self.lengths, service_time=6, seed=2)
+        gen = WorkloadGenerator(self.topo, request_reply=rr, seed=2)
+
+        class Delivered:
+            uid, src, dst = 1, 9, 0
+
+        gen._outstanding.add(1)
+        gen.on_delivered(Delivered, now=50)
+        assert gen.skip_state(51) == ("at", 56)
+
+
+class TestNewPatterns:
+    def setup_method(self):
+        self.topo = torus(4, 2)  # 16 nodes
+        self.rng = random.Random(0)
+
+    def test_incast_targets_sinks_only(self):
+        pattern = Incast(sinks=(3, 7))
+        for src in range(self.topo.num_nodes):
+            dst = pattern.destination(self.topo, src, self.rng)
+            if src in (3, 7):
+                assert dst is None  # sinks send nothing
+            else:
+                assert dst in (3, 7)
+
+    def test_tornado_on_torus(self):
+        pattern = Tornado()
+        # 4-ary: shift = ceil(4/2) - 1 = 1 in every dimension.
+        assert pattern.destination(self.topo, 0, self.rng) == (
+            self.topo.node_at((1, 1))
+        )
+
+    def test_shuffle_rotates_bits(self):
+        pattern = Shuffle()
+        # 16 nodes, 4 bits: 0b0011 -> 0b0110.
+        assert pattern.destination(self.topo, 0b0011, self.rng) == 0b0110
+        # 0b1000 -> 0b0001 (wraps the high bit).
+        assert pattern.destination(self.topo, 0b1000, self.rng) == 0b0001
+        # Fixed points return None (no self-traffic).
+        assert pattern.destination(self.topo, 0, self.rng) is None
+
+    def test_make_pattern_registers_new_names(self):
+        assert isinstance(make_pattern("incast"), Incast)
+        assert isinstance(make_pattern("tornado"), Tornado)
+        assert isinstance(make_pattern("shuffle"), Shuffle)
+        with pytest.raises(ValueError) as excinfo:
+            make_pattern("zipf")
+        for name in ("incast", "tornado", "shuffle", "uniform"):
+            assert name in str(excinfo.value)
