@@ -111,19 +111,27 @@ from .analysis.latency_model import (
     plain_latency,
 )
 from .obs import (
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
     DeadlockReport,
     EngineProfiler,
+    EngineTelemetry,
     EventBus,
     IntervalSampler,
     JsonlSink,
     ListSink,
     MetricsRegistry,
     RingBufferSink,
+    TelemetryServer,
     TracedRun,
     attach,
+    builtin_rules,
     config_for_experiment,
     detach,
     engine_metrics,
+    health_report,
+    load_rules,
     parse_prometheus_text,
     read_jsonl,
     run_traced,
@@ -190,7 +198,7 @@ from .workload import (
     save_workload_trace,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # simulation entry points
@@ -359,6 +367,15 @@ __all__ = [
     "MetricsRegistry",
     "engine_metrics",
     "parse_prometheus_text",
+    # telemetry service + alerts (see repro.obs for the full surface)
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
+    "EngineTelemetry",
+    "TelemetryServer",
+    "builtin_rules",
+    "health_report",
+    "load_rules",
     # verification (see repro.verify for the full surface)
     "InvariantChecker",
     "InvariantViolation",

@@ -149,6 +149,12 @@ def _cascade_stress(scale: Scale) -> CampaignSpec:
         "max_dead_fraction": 0.06,
         "repair_cycles": scale.measure * 2 // 5,
     }
+    # Arm the built-in alert rules: this is exactly the correlated-
+    # outage scenario the cascade-outage rule exists to detect, so the
+    # campaign doubles as the alert engine's end-to-end exercise (CI
+    # asserts the journaled cascade-outage episodes).
+    base["alerts"] = True
+    base["sample_interval"] = 200
     return CampaignSpec.from_dict({
         "name": "cascade-stress",
         "description": (

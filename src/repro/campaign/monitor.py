@@ -35,6 +35,9 @@ _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
 #: how many recent point wall-times the ETA window and sparklines keep.
 ROLLING_WINDOW = 32
 
+#: heartbeat age (seconds) past which ``watch`` marks the view stale.
+STALE_AFTER = 15.0
+
 
 def status_path(store_path: str, name: str) -> Optional[str]:
     """Where the heartbeat for campaign ``name`` lives, given the DB path.
@@ -79,14 +82,20 @@ class CampaignMonitor:
         self,
         name: str,
         total: int,
-        path: str,
+        path: Optional[str],
         interval: float = 1.0,
         clock=time.monotonic,
+        server: Optional[Any] = None,
     ) -> None:
         self.name = name
         self.total = total
         self.path = path
         self.interval = interval
+        #: a repro.obs.server.TelemetryServer to republish every
+        #: heartbeat to (run_campaign(serve=...) wires one); with a
+        #: server attached, ``path=None`` is allowed -- heartbeats then
+        #: go over HTTP only.
+        self.server = server
         self._clock = clock
         self._started = clock()
         self._last_write: Optional[float] = None
@@ -110,9 +119,24 @@ class CampaignMonitor:
         self._delivered = self.registry.counter(
             "messages_delivered_total",
             "Messages delivered across simulated points.")
+        self._alerts = self.registry.counter(
+            "alerts_total",
+            "Alert episodes journaled across simulated points.")
+        from .. import __version__
+        from .store import STORE_SCHEMA_VERSION
+
+        self.registry.gauge(
+            "build_info",
+            "Constant 1; the labels attribute scrapes to a repro "
+            "version and campaign store schema.",
+            labels={"version": __version__,
+                    "schema": str(STORE_SCHEMA_VERSION)},
+        ).set(1)
         self.done = 0
         self._recent_wall: deque = deque(maxlen=ROLLING_WINDOW)
         self._recent_kill_rate: deque = deque(maxlen=ROLLING_WINDOW)
+        self._recent_alerts: deque = deque(maxlen=ROLLING_WINDOW)
+        self._alert_rule_counts: Dict[str, int] = {}
         self._last_point: Optional[Dict[str, Any]] = None
 
     # -- updates (called from run_campaign's journal path) --------------
@@ -145,6 +169,19 @@ class CampaignMonitor:
                 float(report.get("messages_delivered", 0) or 0))
             self._recent_kill_rate.append(
                 float(report.get("kill_rate", 0.0) or 0.0))
+            for episode in report.get("alerts") or []:
+                self._alerts.inc()
+                rule = episode.get("rule", "?")
+                self._alert_rule_counts[rule] = (
+                    self._alert_rule_counts.get(rule, 0) + 1)
+                self.registry.counter(
+                    "alerts_by_rule_total",
+                    "Alert episodes journaled, by rule and severity.",
+                    labels={"rule": rule,
+                            "severity": episode.get("severity", "?")},
+                ).inc()
+                self._recent_alerts.append(
+                    dict(episode, point_id=point.point_id))
         self._last_point = {
             "point_id": point.point_id,
             "grid": point.grid,
@@ -195,11 +232,33 @@ class CampaignMonitor:
             },
             "recent_wall_seconds": list(self._recent_wall),
             "recent_kill_rates": list(self._recent_kill_rate),
+            "alerts": {
+                "total": int(self._alerts.value),
+                "by_rule": dict(self._alert_rule_counts),
+                "recent": list(self._recent_alerts),
+            },
             "metrics": self.registry.snapshot(),
         }
 
     def _write(self, state: str, now: float) -> None:
-        write_status(self.path, self.snapshot(state))
+        status = self.snapshot(state)
+        if self.path is not None:
+            write_status(self.path, status)
+        if self.server is not None:
+            from .. import __version__
+
+            self.server.publish(
+                metrics_text=self.registry.prometheus_text(),
+                health={
+                    "status": ("ok" if state == "running" else state),
+                    "campaign": self.name,
+                    "done": self.done,
+                    "total": self.total,
+                    "alerts": status["alerts"]["by_rule"],
+                    "version": __version__,
+                },
+                status=status,
+            )
         self._last_write = now
 
 
@@ -234,8 +293,74 @@ def _fmt_duration(seconds: Optional[float]) -> str:
     return f"{hours}h{minutes:02d}m"
 
 
-def render_status(status: Dict[str, Any], width: int = 72) -> str:
-    """The heartbeat as a terminal block (pure; reads only the dict)."""
+def render_alerts(status: Dict[str, Any], limit: int = 10) -> List[str]:
+    """The heartbeat's recent alert episodes as terminal lines."""
+    alerts = status.get("alerts") or {}
+    recent = alerts.get("recent") or []
+    total = int(alerts.get("total", len(recent)) or 0)
+    if not total:
+        return ["  alerts: none"]
+    by_rule = alerts.get("by_rule") or {}
+    summary = "  ".join(
+        f"{rule}x{count}" for rule, count in sorted(by_rule.items())
+    )
+    lines = [f"  alerts: {total} episode(s)" + (f"  {summary}"
+                                                if summary else "")]
+    for episode in recent[-limit:]:
+        marker = "!" if episode.get("state") == "firing" else " "
+        lines.append(
+            f"   {marker} [{episode.get('severity', '?'):8s}] "
+            f"{episode.get('rule', '?')} @{episode.get('fired_at', '?')}"
+            f" ({episode.get('point_id', '?')}) "
+            f"{episode.get('message', '')}"
+        )
+    return lines
+
+
+def heartbeat_age(status: Dict[str, Any],
+                  now: Optional[float] = None) -> Optional[float]:
+    """Seconds since the heartbeat was written, or None if unstamped."""
+    written = status.get("updated_at")
+    if written is None:
+        return None
+    return max(0.0, (time.time() if now is None else now) - written)
+
+
+def render_status(status: Dict[str, Any], width: int = 72,
+                  alerts_only: bool = False,
+                  now: Optional[float] = None) -> str:
+    """The heartbeat as a terminal block (pure; reads only the dict).
+
+    A running campaign whose heartbeat is older than
+    :data:`STALE_AFTER` renders a STALE banner first -- and the alert
+    lines still render after it, clearly marked as last-known, instead
+    of silently presenting the old snapshot as live.
+    ``alerts_only`` drops the progress block (the ``watch --alerts``
+    filter).
+    """
+    lines = []
+    age = heartbeat_age(status, now=now)
+    stale = (age is not None and age > STALE_AFTER
+             and status.get("state") == "running")
+    if stale:
+        lines.append(
+            f"!! STALE heartbeat: last written {_fmt_duration(age)} "
+            f"ago (runner gone?); showing last-known state"
+        )
+    if alerts_only:
+        lines.append(
+            f"campaign {status.get('name', '?')}"
+            f" [{status.get('state', '?')}] — alerts"
+        )
+        lines.extend(render_alerts(status))
+        return "\n".join(lines)
+    lines.extend(_render_progress(status, width))
+    lines.extend(render_alerts(status))
+    return "\n".join(lines)
+
+
+def _render_progress(status: Dict[str, Any],
+                     width: int = 72) -> List[str]:
     done = int(status.get("done", 0))
     total = int(status.get("total", 0)) or 1
     frac = min(1.0, done / total)
@@ -278,7 +403,7 @@ def render_status(status: Dict[str, Any], width: int = 72) -> str:
             f"  kill rate     {text_sparkline(kills)}"
             f"  (last {0.0 if kills[-1] is None else kills[-1]:.3f})"
         )
-    return "\n".join(lines)
+    return lines
 
 
 def status_svg(status: Dict[str, Any]) -> str:

@@ -249,6 +249,13 @@ def campaign_markdown(store: CampaignStore, campaign: str,
     """A single-campaign markdown summary (per-scenario aggregates)."""
     aggregated = aggregate_scenarios(store, campaign, metrics)
     summary = store.summary(campaign)
+    alert_counts = store.alert_counts(campaign)
+    scenario_alerts: Dict[ScenarioKey, int] = {}
+    for point in store.points(campaign, status="ok"):
+        key = _scenario_key(point)
+        scenario_alerts[key] = scenario_alerts.get(key, 0) + sum(
+            alert_counts.get(point["point_id"], {}).values()
+        )
     lines = [
         f"# Campaign `{campaign}`",
         "",
@@ -257,8 +264,8 @@ def campaign_markdown(store: CampaignStore, campaign: str,
         f"{summary['versions']} library version(s).",
         "",
         "| scenario | " + " | ".join(metrics)
-        + " | wall s/point | n | provenance |",
-        "|---" * (len(metrics) + 4) + "|",
+        + " | wall s/point | n | alerts | provenance |",
+        "|---" * (len(metrics) + 5) + "|",
     ]
     for key in sorted(aggregated, key=_label):
         entry = aggregated[key]
@@ -272,9 +279,11 @@ def campaign_markdown(store: CampaignStore, campaign: str,
             )
         prov = (f"`{_abbrev('+'.join(entry['hashes']))}`"
                 f"@{'+'.join(entry['versions'])}")
+        fired = scenario_alerts.get(key, 0)
         lines.append(
             f"| {_label(key)} | " + " | ".join(cells)
             + f" | {_fmt(entry['wall_time_mean'])} | {entry['n']} "
+            f"| {fired if fired else '—'} "
             f"| {prov} |"
         )
     failed = store.rows(campaign, status="failed")
@@ -285,6 +294,26 @@ def campaign_markdown(store: CampaignStore, campaign: str,
                 f"- `{row['point_id']}` (attempts={row['attempts']}): "
                 f"{row['error']}"
             )
+    episodes_by_point = store.alerts(campaign)
+    if episodes_by_point:
+        lines += [
+            "",
+            "## Alerts",
+            "",
+            "Alert episodes journaled by the live rules engine "
+            "(runs with `alerts` armed); *firing* episodes never "
+            "resolved before the run ended.",
+            "",
+            "| point | rule | severity | state | fired at | message |",
+            "|---|---|---|---|---|---|",
+        ]
+        for point_id in sorted(episodes_by_point):
+            for ep in episodes_by_point[point_id]:
+                lines.append(
+                    f"| `{point_id}` | {ep['rule']} | {ep['severity']} "
+                    f"| {ep['state']} | {ep['fired_at']} "
+                    f"| {ep['message']} |"
+                )
     series_by_point = store.timeseries(campaign)
     if series_by_point:
         lines += [

@@ -73,6 +73,7 @@ def run_campaign(
     verify: bool = False,
     heartbeat: Optional[float] = 1.0,
     heartbeat_path: Optional[str] = None,
+    serve: Optional[object] = None,
 ) -> CampaignRunStats:
     """Execute (or resume) a campaign; every outcome lands in ``store``.
 
@@ -90,6 +91,14 @@ def run_campaign(
     ``cr-sim campaign watch``; ``heartbeat_path`` overrides its
     location (required for in-memory stores, which otherwise skip the
     heartbeat).
+
+    ``serve`` starts a live telemetry HTTP server for the duration of
+    the campaign: a ``[HOST:]PORT`` spec / port / ``True`` (loopback,
+    ephemeral port), or an already-started
+    :class:`repro.obs.server.TelemetryServer` (which the caller then
+    owns and stops).  The campaign monitor republishes every heartbeat
+    to it, so ``/metrics``, ``/health``, and ``/status`` stay live
+    while points execute.
     """
     store.register(spec)
     points = list(spec.points())
@@ -103,12 +112,21 @@ def run_campaign(
     stats = CampaignRunStats(total=len(points))
     done_hashes = store.completed(spec.name)
 
+    server = None
+    owns_server = False
+    if serve is not None and serve is not False:
+        from ..obs.server import TelemetryServer, make_telemetry_server
+
+        owns_server = not isinstance(serve, TelemetryServer)
+        server = make_telemetry_server(serve)
+
     monitor: Optional[CampaignMonitor] = None
     if heartbeat is not None:
         target = heartbeat_path or status_path(store.path, spec.name)
-        if target is not None:
+        if target is not None or server is not None:
             monitor = CampaignMonitor(
-                spec.name, len(points), target, interval=heartbeat
+                spec.name, len(points), target, interval=heartbeat,
+                server=server,
             )
 
     from ..sim.parallel import config_cache_key
@@ -162,6 +180,12 @@ def run_campaign(
                           if isinstance(report, dict) else None)
                 if series:
                     store.record_timeseries(spec.name, point, series)
+                # Alert episodes (configs with alerts armed) land in
+                # the schema-v3 alerts table, same journaling shape.
+                episodes = (report.get("alerts")
+                            if isinstance(report, dict) else None)
+                if episodes:
+                    store.record_alerts(spec.name, point, episodes)
                 if monitor is not None:
                     # The journal sees the full report (pre-_project),
                     # so the heartbeat's kill/retransmit rates come
@@ -201,6 +225,8 @@ def run_campaign(
 
     if monitor is not None:
         monitor.finalize()
+    if server is not None and owns_server:
+        server.stop()
     return stats
 
 

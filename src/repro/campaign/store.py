@@ -29,7 +29,8 @@ from .spec import CampaignPoint, CampaignSpec
 
 #: bump when the results table layout changes incompatibly.
 #: v2: added the timeseries table (interval-sampler metrics per point).
-STORE_SCHEMA_VERSION = 2
+#: v3: added the alerts table (alert episodes journaled per point).
+STORE_SCHEMA_VERSION = 3
 
 #: default database location, next to the exported figure CSVs.
 DEFAULT_DB_PATH = os.path.join("results", "campaigns.sqlite")
@@ -67,6 +68,20 @@ CREATE TABLE IF NOT EXISTS timeseries (
     cycle_start    INTEGER NOT NULL,
     cycle_end      INTEGER NOT NULL,
     metrics        TEXT NOT NULL,      -- JSON interval metrics
+    schema_version INTEGER NOT NULL,
+    PRIMARY KEY (campaign, point_id, seq)
+);
+CREATE TABLE IF NOT EXISTS alerts (
+    campaign       TEXT NOT NULL,
+    point_id       TEXT NOT NULL,
+    seq            INTEGER NOT NULL,   -- episode index within the run
+    rule           TEXT NOT NULL,
+    severity       TEXT NOT NULL,      -- 'info' | 'warning' | 'critical'
+    state          TEXT NOT NULL,      -- 'firing' | 'resolved'
+    fired_at       INTEGER NOT NULL,   -- cycle the episode fired
+    resolved_at    INTEGER,            -- NULL while still firing
+    value          REAL,               -- metric value at the firing
+    message        TEXT NOT NULL,
     schema_version INTEGER NOT NULL,
     PRIMARY KEY (campaign, point_id, seq)
 );
@@ -230,6 +245,40 @@ class CampaignStore:
             )
         return len(rows)
 
+    def record_alerts(self, campaign: str, point: CampaignPoint,
+                      rows: List[Dict[str, Any]]) -> int:
+        """Journal a point's alert episodes (one transaction).
+
+        Replaces any previous episodes for the point (same semantics as
+        :meth:`record_timeseries`); returns the rows written.
+        """
+        with self._conn:
+            self._conn.execute(
+                "DELETE FROM alerts WHERE campaign = ? "
+                "AND point_id = ?",
+                (campaign, point.point_id),
+            )
+            self._conn.executemany(
+                """
+                INSERT INTO alerts
+                    (campaign, point_id, seq, rule, severity, state,
+                     fired_at, resolved_at, value, message,
+                     schema_version)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                [
+                    (
+                        campaign, point.point_id, seq,
+                        episode["rule"], episode["severity"],
+                        episode["state"], episode["fired_at"],
+                        episode["resolved_at"], episode["value"],
+                        episode["message"], STORE_SCHEMA_VERSION,
+                    )
+                    for seq, episode in enumerate(rows)
+                ],
+            )
+        return len(rows)
+
     # -- queries --------------------------------------------------------
 
     def completed(self, campaign: str) -> Dict[str, Optional[str]]:
@@ -323,6 +372,37 @@ class CampaignStore:
             out.setdefault(row["point_id"], []).append(
                 json.loads(row["metrics"])
             )
+        return out
+
+    def alerts(self, campaign: str,
+               point_id: Optional[str] = None
+               ) -> Dict[str, List[Dict[str, Any]]]:
+        """point_id -> alert episodes (firing order) for a campaign."""
+        query = ("SELECT point_id, rule, severity, state, fired_at, "
+                 "resolved_at, value, message FROM alerts "
+                 "WHERE campaign = ?")
+        params: Tuple[Any, ...] = (campaign,)
+        if point_id is not None:
+            query += " AND point_id = ?"
+            params += (point_id,)
+        query += " ORDER BY point_id, seq"
+        out: Dict[str, List[Dict[str, Any]]] = {}
+        for row in self._conn.execute(query, params).fetchall():
+            entry = dict(row)
+            entry.pop("point_id")
+            out.setdefault(row["point_id"], []).append(entry)
+        return out
+
+    def alert_counts(self, campaign: str) -> Dict[str, Dict[str, int]]:
+        """point_id -> {rule: episode count} for a campaign."""
+        rows = self._conn.execute(
+            "SELECT point_id, rule, COUNT(*) AS n FROM alerts "
+            "WHERE campaign = ? GROUP BY point_id, rule",
+            (campaign,),
+        ).fetchall()
+        out: Dict[str, Dict[str, int]] = {}
+        for row in rows:
+            out.setdefault(row["point_id"], {})[row["rule"]] = row["n"]
         return out
 
     def summary(self, campaign: str) -> Dict[str, Any]:

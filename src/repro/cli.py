@@ -42,6 +42,14 @@ def _build_parser() -> argparse.ArgumentParser:
                  "(see docs/SIMULATOR.md)",
         )
 
+    def add_serve(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--serve", default=None, metavar="[HOST:]PORT",
+            help="serve live telemetry over HTTP while the run "
+                 "executes: /metrics (Prometheus), /health, /status "
+                 "(port 0 = ephemeral; see docs/OBSERVABILITY.md)",
+        )
+
     run_p = sub.add_parser("run", help="run one simulation")
     run_p.add_argument(
         "--routing", default="cr", choices=sorted(SCHEMES)
@@ -87,6 +95,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm the engine self-profiler and print the per-phase "
              "hotspot table (see docs/OBSERVABILITY.md)",
     )
+    run_p.add_argument(
+        "--alerts", nargs="?", const=True, default=None,
+        metavar="RULES.json",
+        help="arm the alert rules engine: built-in rules, or a JSON "
+             "rules file (see docs/OBSERVABILITY.md)",
+    )
+    run_p.add_argument(
+        "--sample-interval", type=int, default=None, metavar="CYCLES",
+        help="collect time-series metrics every CYCLES cycles (alerts "
+             "and --serve evaluate on these boundaries; default 200 "
+             "when either is armed)",
+    )
+    add_serve(run_p)
     add_engine(run_p)
 
     exp_p = sub.add_parser("experiment", help="reproduce a table/figure")
@@ -226,6 +247,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the run's metrics registry in Prometheus text "
              "format (default path: results/traces/<name>.prom.txt)",
     )
+    add_serve(trace_p)
     add_engine(trace_p)
 
     sub.add_parser("list", help="list available experiments")
@@ -282,6 +304,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm the invariant checker on every campaign point "
              "(changes point hashes: unverified points re-run)",
     )
+    add_serve(crun_p)
 
     cstat_p = camp_sub.add_parser(
         "status", help="stored campaigns, or one campaign in detail"
@@ -312,6 +335,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--svg", default=None, metavar="PATH",
         help="also write the heartbeat's rolling series as SVG "
              "sparklines",
+    )
+    cwatch_p.add_argument(
+        "--alerts", action="store_true",
+        help="show only the alerts pane (firing alerts render even "
+             "from a stale heartbeat, marked as last-known)",
     )
 
     crep_p = camp_sub.add_parser(
@@ -389,10 +417,52 @@ def _workload_usage_error(args: argparse.Namespace, prog: str):
     return None
 
 
+def _start_server(spec: Optional[str]):
+    """Start a telemetry server for --serve and announce its URL."""
+    if spec is None:
+        return None
+    from .obs.server import make_telemetry_server
+
+    try:
+        server = make_telemetry_server(spec)
+    except (ValueError, OSError) as exc:
+        print(f"cr-sim: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    print(
+        f"  telemetry: {server.url}/metrics  /health  /status",
+        file=sys.stderr,
+    )
+    return server
+
+
+def _print_alerts(report: Dict[str, Any]) -> None:
+    episodes = report.get("alerts")
+    if episodes is None:
+        return
+    if not episodes:
+        print("\nalerts: none fired")
+        return
+    print(f"\nalerts ({len(episodes)} episode(s)):")
+    for ep in episodes:
+        span = (f"t={ep['fired_at']}..{ep['resolved_at']}"
+                if ep["resolved_at"] is not None
+                else f"t={ep['fired_at']} (still firing)")
+        print(f"  [{ep['severity']}] {ep['rule']} {span}: "
+              f"{ep['message']}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     error = _workload_usage_error(args, "run")
     if error is not None:
         return error
+    if args.alerts not in (None, True):
+        import os
+
+        if not os.path.exists(args.alerts):
+            print(f"cr-sim run: no alert rules file {args.alerts!r}",
+                  file=sys.stderr)
+            return 2
+    server = _start_server(args.serve)
     config = SimConfig(
         topology=args.topology,
         radix=args.radix,
@@ -416,13 +486,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         engine=args.engine,
         verify=args.verify or None,
         profile=args.profile,
+        alerts=args.alerts,
+        serve=server,
+        sample_interval=args.sample_interval,
     )
-    result = run_simulation(config, keep_engine=args.profile)
+    try:
+        result = run_simulation(config, keep_engine=args.profile)
+    finally:
+        if server is not None:
+            server.stop()
     verify_summary = result.report.get("verify")
     rows = [
         {"metric": key, "value": value}
         for key, value in sorted(result.report.items())
-        if key not in ("verify", "profile")
+        if key not in ("verify", "profile", "alerts", "alerts_summary",
+                       "timeseries")
     ]
     print(
         format_table(
@@ -434,6 +512,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ),
         )
     )
+    _print_alerts(result.report)
     if verify_summary is not None:
         print(
             "\ninvariants verified: " + ", ".join(
@@ -588,16 +667,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print("cr-sim trace: --hotspot needs --profile", file=sys.stderr)
         return 2
 
-    traced = run_traced(
-        config,
-        jsonl_path=_trace_artifact_path(args.jsonl, name, ".jsonl"),
-        perfetto_path=_trace_artifact_path(
-            args.perfetto, name, ".perfetto.json"
-        ),
-        sample_interval=args.sample_interval,
-        keep_engine=True,
-        profile=args.profile if args.profile is not None else False,
-    )
+    server = _start_server(args.serve)
+    if server is not None:
+        config = config.with_(serve=server)
+    try:
+        traced = run_traced(
+            config,
+            jsonl_path=_trace_artifact_path(args.jsonl, name, ".jsonl"),
+            perfetto_path=_trace_artifact_path(
+                args.perfetto, name, ".perfetto.json"
+            ),
+            sample_interval=args.sample_interval,
+            keep_engine=True,
+            profile=args.profile if args.profile is not None else False,
+        )
+    finally:
+        if server is not None:
+            server.stop()
     engine = traced.result.engine
     print(f"{title} on {engine.topology.name}, t={engine.now}\n")
     print("buffer occupancy (flits per router):")
@@ -771,16 +857,22 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    with CampaignStore(args.db) as store:
-        stats = run_campaign(
-            spec,
-            store,
-            workers=args.workers if args.workers > 0 else None,
-            cache=True if args.sweep_cache else None,
-            retries=args.retries,
-            progress=report,
-            verify=args.verify,
-        )
+    server = _start_server(getattr(args, "serve", None))
+    try:
+        with CampaignStore(args.db) as store:
+            stats = run_campaign(
+                spec,
+                store,
+                workers=args.workers if args.workers > 0 else None,
+                cache=True if args.sweep_cache else None,
+                retries=args.retries,
+                progress=report,
+                verify=args.verify,
+                serve=server,
+            )
+    finally:
+        if server is not None:
+            server.stop()
     print(
         f"campaign {spec.name!r}: {stats.ran} point(s) run, "
         f"{stats.skipped} resumed, {stats.failed} failed "
@@ -891,7 +983,7 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
         if not os.path.exists(path):
             return None
         status = read_status(path)
-        print(render_status(status))
+        print(render_status(status, alerts_only=args.alerts))
         if args.svg:
             with open(args.svg, "w", encoding="utf-8") as handle:
                 handle.write(status_svg(status))

@@ -164,6 +164,12 @@ class Engine:
         # Self-profiling (repro.obs.profile): same guard discipline --
         # one is-None check per step dispatches to the timed copy.
         self.profiler = None
+        # Alert rules engine (repro.obs.alerts) and telemetry publisher
+        # (repro.obs.server): both ride the sampler's listener list, so
+        # the per-cycle path never touches them; the attributes exist so
+        # exporters and reports can find them on any engine.
+        self.alerts = None
+        self.telemetry = None
         # Workload delivery hook (repro.workload): object with
         # on_delivered(message, now), called by receivers when a whole
         # message arrives -- how client-server replies get scheduled.

@@ -19,8 +19,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from .alerts import (
+    BUILTIN_RULE_NAMES,
+    AlertEngine,
+    AlertRule,
+    builtin_rules,
+    load_rules,
+    make_alert_engine,
+    rules_to_json,
+)
 from .events import (
     EVENT_TYPES,
+    AlertEvent,
     Event,
     EventBus,
     FaultActivated,
@@ -35,10 +45,22 @@ from .events import (
     event_to_dict,
 )
 from .forensics import DeadlockReport, build_deadlock_report
+from .health import (
+    dead_channel_fraction,
+    health_components,
+    health_report,
+    health_score,
+)
 from .metrics import (
     MetricsRegistry,
     engine_metrics,
     parse_prometheus_text,
+)
+from .server import (
+    EngineTelemetry,
+    TelemetryServer,
+    make_telemetry_server,
+    parse_serve,
 )
 from .perfetto import chrome_trace, chrome_trace_events, write_chrome_trace
 from .profile import (
@@ -103,11 +125,16 @@ from .tracing import (  # noqa: E402
 )
 
 __all__ = [
+    "BUILTIN_RULE_NAMES",
     "DEFAULT_TRACE_DIR",
     "EVENT_TYPES",
     "PHASES",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
     "DeadlockReport",
     "EngineProfiler",
+    "EngineTelemetry",
     "Event",
     "EventBus",
     "EventSink",
@@ -126,20 +153,31 @@ __all__ = [
     "MetricsRegistry",
     "Retransmit",
     "RingBufferSink",
+    "TelemetryServer",
     "TracedRun",
     "attach",
     "attach_profiler",
     "build_deadlock_report",
+    "builtin_rules",
     "chrome_trace",
     "chrome_trace_events",
     "config_for_experiment",
+    "dead_channel_fraction",
     "detach",
     "detach_profiler",
     "engine_metrics",
     "event_to_dict",
     "filter_events",
+    "health_components",
+    "health_report",
+    "health_score",
+    "load_rules",
+    "make_alert_engine",
+    "make_telemetry_server",
     "parse_prometheus_text",
+    "parse_serve",
     "read_jsonl",
+    "rules_to_json",
     "run_traced",
     "trace_experiments",
     "write_chrome_trace",

@@ -132,6 +132,23 @@ class FaultActivated(Event):
     uid: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class AlertEvent(Event):
+    """An alert rule crossed a firing/resolving transition.
+
+    Emitted by :class:`repro.obs.alerts.AlertEngine` at a sampler
+    boundary (``cycle`` is the window's end), never from the per-cycle
+    hot path.  ``state`` is ``'firing'`` or ``'resolved'``; ``value``
+    is the metric value at the transition (None for absence rules).
+    """
+
+    rule: str
+    severity: str  #: one of :data:`repro.obs.alerts.SEVERITIES`
+    state: str
+    value: Optional[float]
+    message: str
+
+
 #: every concrete event type, for sinks that key behaviour on the name.
 EVENT_TYPES = (
     MessageCreated,
@@ -143,6 +160,7 @@ EVENT_TYPES = (
     KillCompleted,
     Retransmit,
     FaultActivated,
+    AlertEvent,
 )
 
 

@@ -19,8 +19,15 @@ The registry is snapshot-oriented, not hot-path-resident: the engine
 keeps feeding its plain ``Counter`` dict (one dict op per event), and a
 registry is built from it on demand.  Nothing here runs per cycle.
 
+The registry is also safe to share across threads: registration and
+every mutation/export path serialise on one registry lock, so the
+telemetry server's scrape thread reads an *atomic* snapshot while the
+publishing thread keeps incrementing (standalone metric instances get
+their own lock).
+
 :func:`parse_prometheus_text` parses the text format back -- the
-round-trip assertion CI and the tests rely on.
+round-trip assertion CI and the tests rely on.  Label values escape
+and unescape losslessly (backslash, double-quote, newline).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import json
 import math
 import os
 import re
+import threading
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -69,6 +77,51 @@ def _escape(value: str) -> str:
             .replace("\n", "\\n"))
 
 
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _parse_label_block(text: str) -> Tuple[LabelKey, str]:
+    """Parse a ``{name="value",...}`` block (escapes included).
+
+    ``text`` starts at the opening brace; returns the label pairs in
+    written order plus the remainder after the closing brace.  A
+    character scan, not a regex -- escaped quotes and braces *inside*
+    label values must not terminate the block.
+    """
+    pairs: List[Tuple[str, str]] = []
+    i = 1
+    try:
+        while True:
+            if text[i] == "}":
+                return tuple(pairs), text[i + 1:]
+            match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", text[i:])
+            if not match or text[i + match.end()] != "=":
+                raise ValueError
+            name = match.group(0)
+            i += match.end() + 1
+            if text[i] != '"':
+                raise ValueError
+            i += 1
+            chars: List[str] = []
+            while text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                    if text[i] not in _UNESCAPE:
+                        raise ValueError
+                    chars.append(_UNESCAPE[text[i]])
+                else:
+                    chars.append(text[i])
+                i += 1
+            pairs.append((name, "".join(chars)))
+            i += 1
+            if text[i] == ",":
+                i += 1
+            elif text[i] != "}":
+                raise ValueError
+    except (IndexError, ValueError):
+        raise ValueError(f"malformed label block in: {text!r}")
+
+
 def _fmt_value(value: float) -> str:
     if value == math.inf:
         return "+Inf"
@@ -78,18 +131,25 @@ def _fmt_value(value: float) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
+
+    ``lock`` serialises mutation against snapshot/export; registry-
+    created instances share the registry's lock, standalone ones get
+    their own.
+    """
 
     kind = "counter"
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def sample_lines(self, name: str, labels: LabelKey) -> List[str]:
         return [f"{name}{_render_labels(labels)} {_fmt_value(self.value)}"]
@@ -102,19 +162,23 @@ class Gauge:
     """A value that can go up and down."""
 
     kind = "gauge"
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: Optional[threading.RLock] = None) -> None:
         self.value = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def sample_lines(self, name: str, labels: LabelKey) -> List[str]:
         return [f"{name}{_render_labels(labels)} {_fmt_value(self.value)}"]
@@ -132,9 +196,11 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("buckets", "counts", "inf_count", "sum", "count")
+    __slots__ = ("buckets", "counts", "inf_count", "sum", "count",
+                 "_lock")
 
-    def __init__(self, buckets: Sequence[float]) -> None:
+    def __init__(self, buckets: Sequence[float],
+                 lock: Optional[threading.RLock] = None) -> None:
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
@@ -145,15 +211,17 @@ class Histogram:
         self.inf_count = 0
         self.sum = 0.0
         self.count = 0
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.inf_count += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[index] += 1
+                    return
+            self.inf_count += 1
 
     def sample_lines(self, name: str, labels: LabelKey) -> List[str]:
         lines = []
@@ -201,6 +269,10 @@ class MetricsRegistry:
             raise ValueError(f"invalid metric prefix {prefix!r}")
         self.prefix = prefix
         self._families: Dict[str, _Family] = {}
+        # One reentrant lock covers registration, every instance's
+        # mutation, and export: snapshot()/prometheus_text() observe a
+        # point-in-time state even while other threads increment.
+        self._lock = threading.RLock()
 
     # -- registration ---------------------------------------------------
 
@@ -221,73 +293,90 @@ class MetricsRegistry:
 
     def counter(self, name: str, help: str = "",
                 labels: Optional[Dict[str, str]] = None) -> Counter:
-        family = self._family(name, "counter", help)
-        key = _label_key(labels or {})
-        instance = family.instances.get(key)
-        if instance is None:
-            instance = family.instances[key] = Counter()
-        return instance
+        with self._lock:
+            family = self._family(name, "counter", help)
+            key = _label_key(labels or {})
+            instance = family.instances.get(key)
+            if instance is None:
+                instance = family.instances[key] = Counter(self._lock)
+            return instance
 
     def gauge(self, name: str, help: str = "",
               labels: Optional[Dict[str, str]] = None) -> Gauge:
-        family = self._family(name, "gauge", help)
-        key = _label_key(labels or {})
-        instance = family.instances.get(key)
-        if instance is None:
-            instance = family.instances[key] = Gauge()
-        return instance
+        with self._lock:
+            family = self._family(name, "gauge", help)
+            key = _label_key(labels or {})
+            instance = family.instances.get(key)
+            if instance is None:
+                instance = family.instances[key] = Gauge(self._lock)
+            return instance
 
     def histogram(self, name: str, help: str = "",
                   buckets: Sequence[float] = LATENCY_BUCKETS,
                   labels: Optional[Dict[str, str]] = None) -> Histogram:
-        family = self._family(name, "histogram", help)
-        key = _label_key(labels or {})
-        instance = family.instances.get(key)
-        if instance is None:
-            instance = family.instances[key] = Histogram(buckets)
-        return instance
+        with self._lock:
+            family = self._family(name, "histogram", help)
+            key = _label_key(labels or {})
+            instance = family.instances.get(key)
+            if instance is None:
+                instance = family.instances[key] = Histogram(
+                    buckets, self._lock
+                )
+            return instance
 
     # -- introspection --------------------------------------------------
 
     def names(self) -> List[str]:
         """Registered family names, sorted."""
-        return sorted(self._families)
+        with self._lock:
+            return sorted(self._families)
 
     def families(self) -> List[Tuple[str, str, str]]:
         """``(name, type, help)`` per registered family, sorted by name."""
-        return [(f.name, f.kind, f.help)
-                for f in (self._families[n] for n in self.names())]
+        with self._lock:
+            return [(f.name, f.kind, f.help)
+                    for f in (self._families[n] for n in self.names())]
 
     # -- export ---------------------------------------------------------
 
     def prometheus_text(self) -> str:
-        """The registry in Prometheus text exposition format."""
-        lines: List[str] = []
-        for name in self.names():
-            family = self._families[name]
-            lines.append(f"# HELP {name} {_escape(family.help)}")
-            lines.append(f"# TYPE {name} {family.kind}")
-            for key in sorted(family.instances):
-                lines.extend(
-                    family.instances[key].sample_lines(name, key)
-                )
-        return "\n".join(lines) + "\n"
+        """The registry in Prometheus text exposition format.
+
+        Atomic with respect to concurrent registration and increments:
+        the whole render happens under the registry lock.
+        """
+        with self._lock:
+            lines: List[str] = []
+            for name in self.names():
+                family = self._families[name]
+                lines.append(f"# HELP {name} {_escape(family.help)}")
+                lines.append(f"# TYPE {name} {family.kind}")
+                for key in sorted(family.instances):
+                    lines.extend(
+                        family.instances[key].sample_lines(name, key)
+                    )
+            return "\n".join(lines) + "\n"
 
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-ready dict: name -> {type, help, values}."""
-        out: Dict[str, Any] = {}
-        for name in self.names():
-            family = self._families[name]
-            values = {}
-            for key in sorted(family.instances):
-                label = _render_labels(key) or ""
-                values[label] = family.instances[key].as_json()
-            out[name] = {
-                "type": family.kind,
-                "help": family.help,
-                "values": values,
-            }
-        return out
+        """A JSON-ready dict: name -> {type, help, values}.
+
+        Atomic: taken under the registry lock, so a reader thread never
+        sees a half-updated histogram or a family mid-registration.
+        """
+        with self._lock:
+            out: Dict[str, Any] = {}
+            for name in self.names():
+                family = self._families[name]
+                values = {}
+                for key in sorted(family.instances):
+                    label = _render_labels(key) or ""
+                    values[label] = family.instances[key].as_json()
+                out[name] = {
+                    "type": family.kind,
+                    "help": family.help,
+                    "values": values,
+                }
+            return out
 
     def write_prometheus(self, path: str) -> str:
         """Write the text exposition to ``path``; returns the text."""
@@ -349,18 +438,32 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[str, Any]]:
             continue
         if line.startswith("#"):
             continue
-        match = re.match(
-            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$", line
-        )
-        if not match:
+        name_match = re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*", line)
+        if not name_match:
             raise ValueError(f"unparsable metric sample line: {line!r}")
-        sample_name, labels, value_text = match.groups()
+        sample_name = name_match.group(0)
+        rest = line[name_match.end():]
+        labels = ""
+        if rest.startswith("{"):
+            # Character scan, not a regex: label values may contain
+            # escaped quotes, newlines, and even ``}``.  Re-render
+            # canonically so parsed keys match freshly exported ones.
+            try:
+                pairs, rest = _parse_label_block(rest)
+            except ValueError:
+                raise ValueError(
+                    f"unparsable metric sample line: {line!r}"
+                )
+            labels = _render_labels(pairs)
+        value_text = rest.strip()
+        if not value_text or not rest[:1].isspace() or " " in value_text:
+            raise ValueError(f"unparsable metric sample line: {line!r}")
         value = math.inf if value_text == "+Inf" else float(value_text)
         family = family_of(sample_name)
         entry = out.setdefault(
             family, {"type": None, "help": "", "samples": {}}
         )
-        entry["samples"][sample_name + (labels or "")] = value
+        entry["samples"][sample_name + labels] = value
     return out
 
 
@@ -489,4 +592,44 @@ def engine_metrics(engine: "Engine",
     )
     for value in engine.stats.network_latencies:
         network.observe(value)
+
+    # Attribution, composite health, and alert state -- the scrape
+    # surface ISSUE 8 adds.  Imported lazily: health/campaign pull in
+    # modules that themselves import this one.
+    from .. import __version__
+    from ..campaign.store import STORE_SCHEMA_VERSION
+    from .health import health_components, health_score
+
+    registry.gauge(
+        "build_info",
+        "Constant 1; the labels attribute scrapes to a repro version, "
+        "engine class, and campaign store schema.",
+        labels={
+            "version": __version__,
+            "engine": type(engine).__name__,
+            "schema": str(STORE_SCHEMA_VERSION),
+        },
+    ).set(1)
+
+    components = health_components(engine)
+    registry.gauge(
+        "network_health",
+        "Composite network health in [0, 1]: weighted delivery rate, "
+        "channel liveness, kill pressure, occupancy headroom.",
+    ).set(health_score(components))
+    for component, value in components.items():
+        registry.gauge(
+            "network_health_component",
+            "One component of cr_network_health, each in [0, 1].",
+            labels={"component": component},
+        ).set(value)
+
+    alerts = getattr(engine, "alerts", None)
+    if alerts is not None:
+        for severity, count in alerts.firing_by_severity().items():
+            registry.gauge(
+                "alerts_firing",
+                "Alert episodes currently firing, by severity.",
+                labels={"severity": severity},
+            ).set(count)
     return registry

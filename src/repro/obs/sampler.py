@@ -86,6 +86,12 @@ class IntervalSampler:
         self.engine = engine
         self.interval = interval
         self.samples: List[IntervalSample] = []
+        #: sample listeners, called as ``listener.on_sample(engine,
+        #: sample)`` right after a window closes -- the alert engine
+        #: and telemetry publisher hook in here, so their cost lands
+        #: only on sampling boundaries (which the fast engine already
+        #: wakes for), never in the per-cycle hot path.
+        self.listeners: List[Any] = []
         self._start = 0
         self._base = {name: 0 for name in _DELTA_COUNTERS}
         self._latency_base = 0
@@ -155,6 +161,10 @@ class IntervalSampler:
             occupancy=occupancy,
         ))
         self._start = end
+        if self.listeners:
+            sample = self.samples[-1]
+            for listener in self.listeners:
+                listener.on_sample(engine, sample)
 
     # ------------------------------------------------------------------
     # Export

@@ -41,6 +41,10 @@ from ..traffic.patterns import make_pattern
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..verify.invariants import VerifyConfig
 
+#: sampler cadence auto-selected when alerts/serve are armed without an
+#: explicit sample_interval (cycles per window).
+DEFAULT_SAMPLE_INTERVAL = 200
+
 #: routing scheme -> (routing function class, interface protocol)
 SCHEMES = {
     "cr": (MinimalAdaptive, ProtocolMode.CR),
@@ -139,6 +143,17 @@ class SimConfig:
     # time-series metrics every N cycles; run_simulation() then reports
     # them under "timeseries".
     sample_interval: Optional[int] = None
+    # Alert rules engine (repro.obs.alerts): True for the built-in
+    # rules, a path to a JSON rules file, a rules list/dict, or an
+    # AlertEngine.  Evaluated at sampler boundaries (a sampler is
+    # auto-attached at DEFAULT_SAMPLE_INTERVAL when none is configured);
+    # run_simulation() then reports firing episodes under "alerts".
+    alerts: Optional[Any] = None
+    # Live telemetry server (repro.obs.server): True for loopback on an
+    # ephemeral port, a port, "[HOST:]PORT", or a TelemetryServer.
+    # Serves /metrics, /health, /status; republished at every sampler
+    # boundary (a sampler is auto-attached as for alerts).
+    serve: Optional[Any] = None
     # --- verification --------------------------------------------------
     # True (or a repro.verify.VerifyConfig) arms the runtime invariant
     # checker; run_simulation() then reports its counters under
@@ -296,12 +311,45 @@ class SimConfig:
                 ack_length=self.swr_ack_length,
                 retry_limit=self.swr_retry_limit,
             ).attach(engine)
-        if self.sample_interval is not None:
+        wants_boundaries = (
+            (self.alerts is not None and self.alerts is not False)
+            or (self.serve is not None and self.serve is not False)
+        )
+        if self.sample_interval is not None or wants_boundaries:
             from ..obs.sampler import IntervalSampler
 
+            # Alerts and telemetry evaluate on sampler boundaries, so
+            # arming either without an explicit sample_interval attaches
+            # a sampler at the default cadence.
             engine.sampler = IntervalSampler(
-                engine, interval=self.sample_interval
+                engine,
+                interval=(self.sample_interval
+                          if self.sample_interval is not None
+                          else DEFAULT_SAMPLE_INTERVAL),
             )
+        if self.alerts is not None and self.alerts is not False:
+            from ..obs.alerts import make_alert_engine
+
+            engine.alerts = make_alert_engine(self.alerts)
+            engine.sampler.listeners.append(engine.alerts)
+        if self.serve is not None and self.serve is not False:
+            from ..obs.server import (
+                EngineTelemetry,
+                TelemetryServer,
+                make_telemetry_server,
+            )
+
+            server = make_telemetry_server(self.serve)
+            engine.telemetry = EngineTelemetry(
+                server,
+                # A caller-constructed server outlives this run (the
+                # caller may share it across runs); specs we coerced
+                # into a fresh server are ours to stop at close().
+                owns_server=not isinstance(self.serve, TelemetryServer),
+            )
+            engine.sampler.listeners.append(engine.telemetry)
+            # Publish the cycle-0 state so scrapes work immediately.
+            engine.telemetry.publish(engine)
         if self.verify is not None and self.verify is not False:
             from ..verify import (
                 InvariantChecker,

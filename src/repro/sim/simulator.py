@@ -70,6 +70,13 @@ def run_simulation(
     if engine.sampler is not None:
         engine.sampler.finalize(engine.now)
         report["timeseries"] = engine.sampler.rows()
+    if engine.alerts is not None:
+        report["alerts"] = engine.alerts.rows()
+        report["alerts_summary"] = engine.alerts.summary()
+    if engine.telemetry is not None:
+        # Publishes the end-of-run snapshot; stops a server this run
+        # started (a caller-provided TelemetryServer keeps serving).
+        engine.telemetry.close(engine)
     if engine.checker is not None:
         engine.checker.on_run_end(drained, engine.now)
         report["verify"] = engine.checker.summary()

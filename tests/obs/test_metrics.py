@@ -1,6 +1,7 @@
 """Metrics registry: types, exposition format, round-trip, publisher."""
 
 import math
+import threading
 
 import pytest
 
@@ -122,6 +123,144 @@ class TestRegistry:
         assert prom.read_text() == text
         snap = registry.write_json(str(tmp_path / "m.json"))
         assert snap["writes"]["values"][""] == 7.0
+
+
+class TestHistogramEdges:
+    def test_value_on_exact_bound_lands_in_that_bucket(self):
+        # Prometheus `le` is inclusive: observe(10.0) counts in le="10".
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(10.0)
+        assert hist.counts == [0, 1]
+        assert hist.inf_count == 0
+        assert 'h_bucket{le="10"} 1' in hist.sample_lines("h", ())
+
+    def test_value_above_every_bound_lands_in_inf(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(10.0000001)
+        assert hist.counts == [0, 0]
+        assert hist.inf_count == 1
+        assert 'h_bucket{le="+Inf"} 1' in hist.sample_lines("h", ())
+
+    def test_negative_observation_lands_in_the_first_bucket(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(-5.0)
+        assert hist.counts == [1, 0]
+        assert hist.sum == -5.0
+        assert hist.count == 1
+
+    def test_json_and_prometheus_agree(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", "Latency.",
+                                  buckets=(1.0, 10.0, 100.0))
+        for value in (-1.0, 1.0, 10.0, 99.0, 1e9):
+            hist.observe(value)
+        snap = registry.snapshot()["lat"]["values"][""]
+        # JSON keeps per-bucket counts (+Inf last); text is cumulative.
+        assert snap["counts"] == [2, 1, 1, 1]
+        assert snap["count"] == 5
+        parsed = parse_prometheus_text(registry.prometheus_text())
+        samples = parsed["lat"]["samples"]
+        assert samples['lat_bucket{le="1"}'] == 2
+        assert samples['lat_bucket{le="10"}'] == 3
+        assert samples['lat_bucket{le="100"}'] == 4
+        assert samples['lat_bucket{le="+Inf"}'] == 5
+        assert samples["lat_count"] == 5
+        assert samples["lat_sum"] == pytest.approx(1e9 + 109.0)
+
+
+class TestThreadSafety:
+    def test_hammer_leaves_exact_totals(self):
+        # Four writer threads hammer one counter, one gauge, and one
+        # histogram through the registry while a reader thread snapshots
+        # concurrently; with the registry lock shared into every
+        # instance the final totals are exact, not approximately right.
+        registry = MetricsRegistry()
+        counter = registry.counter("hits", "Hits.")
+        gauge = registry.gauge("level", "Level.")
+        hist = registry.histogram("obs", "Obs.", buckets=(0.5,))
+        per_thread, threads = 2_000, 4
+
+        def writer():
+            for _ in range(per_thread):
+                counter.inc()
+                gauge.inc(2)
+                gauge.dec(1)
+                hist.observe(1.0)
+
+        stop = threading.Event()
+        seen = []
+
+        def reader():
+            while not stop.is_set():
+                snap = registry.snapshot()
+                seen.append(snap["obs"]["values"][""]["count"])
+
+        workers = [threading.Thread(target=writer)
+                   for _ in range(threads)]
+        observer = threading.Thread(target=reader)
+        observer.start()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop.set()
+        observer.join()
+        total = per_thread * threads
+        assert counter.value == total
+        assert gauge.value == total
+        assert hist.count == total
+        assert hist.inf_count == total
+        assert seen and seen[-1] <= total
+
+    def test_snapshot_is_atomic_under_concurrent_registration(self):
+        # Registering new families while exporting must never corrupt
+        # an in-flight prometheus_text render.
+        registry = MetricsRegistry()
+        registry.counter("seed", "Seed.").inc()
+
+        def register():
+            for index in range(200):
+                registry.counter(f"extra_{index}").inc()
+
+        worker = threading.Thread(target=register)
+        worker.start()
+        for _ in range(50):
+            parsed = parse_prometheus_text(registry.prometheus_text())
+            assert parsed["seed"]["samples"]["seed"] == 1.0
+        worker.join()
+        assert "extra_199" in registry.names()
+
+
+class TestLabelEscaping:
+    def test_special_label_values_round_trip(self):
+        registry = MetricsRegistry()
+        hostile = 'quote " slash \\ newline \n done'
+        registry.gauge("g", "G.", labels={"v": hostile}).set(7)
+        text = registry.prometheus_text()
+        assert "\n\n" not in text.replace("\n# ", "x")  # still one line
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parsed = parse_prometheus_text(text)
+        (key,) = parsed["g"]["samples"]
+        assert parsed["g"]["samples"][key] == 7.0
+        # The parsed key re-renders the escapes exactly as exported.
+        assert key == 'g{v="quote \\" slash \\\\ newline \\n done"}'
+
+    def test_escaped_export_reimports_identically(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "C.", labels={"a": 'x"y', "b": "p\\q"})
+        registry.counter("c", labels={"a": "plain", "b": "r\ns"}).inc(3)
+        first = registry.prometheus_text()
+        parsed = parse_prometheus_text(first)
+        assert len(parsed["c"]["samples"]) == 2
+        assert sum(parsed["c"]["samples"].values()) == 3.0
+
+    def test_malformed_label_blocks_rejected(self):
+        for bad in ('m{a="unterminated} 1\n',
+                    'm{a=noquote} 1\n',
+                    'm{a="x" b="y"} 1\n',
+                    'm{a="x"'):
+            with pytest.raises(ValueError):
+                parse_prometheus_text(bad)
 
 
 class TestRoundTrip:

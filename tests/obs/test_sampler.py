@@ -100,6 +100,27 @@ class TestSampling:
         assert max(s["occupancy"] for s in samples) > 0
 
 
+class TestListeners:
+    def test_listeners_see_every_closed_window_in_order(self):
+        calls = []
+
+        class Recorder:
+            def on_sample(self, engine, sample):
+                calls.append((sample.index, sample.end))
+
+        engine = SimConfig(
+            radix=4, dims=2, routing="cr", load=0.2, message_length=8,
+            warmup=50, measure=300, drain=3000, seed=2,
+            sample_interval=100,
+        ).build()
+        engine.sampler.listeners.append(Recorder())
+        engine.run(20_000)
+        engine.sampler.finalize(engine.now)
+        assert [index for index, _ in calls] == list(range(len(calls)))
+        assert calls == [(s.index, s.end)
+                         for s in engine.sampler.samples]
+
+
 class TestExports:
     def test_series_matches_rows(self):
         result = sampled_result()

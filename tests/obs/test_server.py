@@ -1,0 +1,201 @@
+"""Telemetry HTTP server: serve specs, endpoints, live-run publishing."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import SimConfig, run_simulation
+from repro.obs.metrics import parse_prometheus_text
+from repro.obs.server import (
+    EngineTelemetry,
+    TelemetryServer,
+    make_telemetry_server,
+    parse_serve,
+)
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return (response.status,
+                response.headers.get("Content-Type", ""),
+                response.read().decode("utf-8"))
+
+
+@pytest.fixture
+def server():
+    server = TelemetryServer().start()
+    yield server
+    server.stop()
+
+
+class TestParseServe:
+    @pytest.mark.parametrize("spec,expected", [
+        (True, ("127.0.0.1", 0)),
+        (9100, ("127.0.0.1", 9100)),
+        ("9100", ("127.0.0.1", 9100)),
+        ("0.0.0.0:9100", ("0.0.0.0", 9100)),
+        (("localhost", 8080), ("localhost", 8080)),
+    ])
+    def test_accepted_forms(self, spec, expected):
+        assert parse_serve(spec) == expected
+
+    @pytest.mark.parametrize("bad", [False, "nope", "host:", [], 1.5])
+    def test_rejected_forms(self, bad):
+        with pytest.raises(ValueError):
+            parse_serve(bad)
+
+    def test_make_telemetry_server_passthrough_starts(self):
+        server = TelemetryServer()
+        try:
+            assert not server.running
+            assert make_telemetry_server(server) is server
+            assert server.running
+        finally:
+            server.stop()
+
+
+class TestEndpoints:
+    def test_ephemeral_port_resolves_at_construction(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_placeholder_before_first_publish(self, server):
+        status, content_type, body = fetch(server.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain; version=0.0.4")
+        assert body.startswith("# no metrics published yet")
+
+    def test_published_snapshots_are_served(self, server):
+        server.publish(
+            metrics_text="cr_up 1\n",
+            health={"status": "ok", "score": 0.5},
+            status={"state": "running", "done": 3},
+        )
+        _, _, metrics = fetch(server.url + "/metrics")
+        assert parse_prometheus_text(metrics)["cr_up"]["samples"] == {
+            "cr_up": 1.0
+        }
+        _, content_type, health = fetch(server.url + "/health")
+        assert content_type == "application/json"
+        assert json.loads(health) == {"status": "ok", "score": 0.5}
+        _, _, status = fetch(server.url + "/status")
+        assert json.loads(status) == {"state": "running", "done": 3}
+
+    def test_partial_publish_leaves_other_snapshots(self, server):
+        server.publish(health={"status": "ok"})
+        server.publish(status={"state": "running"})
+        assert server.health() == {"status": "ok"}
+        assert server.publishes == 2
+
+    def test_index_and_404(self, server):
+        _, _, index = fetch(server.url + "/")
+        assert "/metrics" in index and "/health" in index
+        with pytest.raises(urllib.error.HTTPError) as err:
+            fetch(server.url + "/nope")
+        assert err.value.code == 404
+
+    def test_stop_is_idempotent_and_closes_the_socket(self):
+        server = TelemetryServer().start()
+        url = server.url
+        server.stop()
+        server.stop()
+        assert not server.running
+        with pytest.raises(OSError):
+            fetch(url + "/metrics")
+
+
+class TestEngineTelemetry:
+    def run_config(self, server, **overrides):
+        params = dict(
+            radix=4, dims=2, routing="cr", load=0.2, message_length=8,
+            warmup=50, measure=300, drain=3000, seed=2,
+            sample_interval=100, alerts=True, serve=server,
+        )
+        params.update(overrides)
+        return SimConfig(**params)
+
+    def test_config_wires_publisher_without_owning_the_server(
+            self, server):
+        engine = self.run_config(server).build()
+        assert isinstance(engine.telemetry, EngineTelemetry)
+        assert engine.telemetry.server is server
+        assert not engine.telemetry.owns_server
+        assert engine.telemetry in engine.sampler.listeners
+        # build() publishes a cycle-0 snapshot immediately.
+        assert server.publishes >= 1
+        _, _, body = fetch(server.url + "/metrics")
+        assert "cr_build_info" in body
+
+    def test_run_serves_live_round_trippable_metrics(self, server):
+        result = run_simulation(
+            self.run_config(server), keep_engine=True
+        )
+        engine = result.engine
+        # One publish per sampler window, plus build-time and close.
+        assert server.publishes >= len(result.report["timeseries"])
+        _, _, metrics = fetch(server.url + "/metrics")
+        parsed = parse_prometheus_text(metrics)
+        delivered = engine.stats.counters["messages_delivered"]
+        assert (parsed["cr_messages_delivered_total"]["samples"]
+                ["cr_messages_delivered_total"] == delivered)
+        # A clean drained run scores near-perfect health (kills during
+        # the run leave a little kill-pressure residue).
+        health = parsed["cr_network_health"]["samples"][
+            "cr_network_health"
+        ]
+        assert 0.9 <= health <= 1.0
+
+    def test_health_payload_reports_score_and_version(self, server):
+        from repro import __version__
+
+        run_simulation(self.run_config(server))
+        _, _, body = fetch(server.url + "/health")
+        health = json.loads(body)
+        assert health["status"] == "finished"
+        assert health["version"] == __version__
+        assert 0.9 <= health["score"] <= 1.0
+        assert set(health["components"]) == {
+            "delivery", "channel_liveness", "kill_pressure",
+            "occupancy_headroom",
+        }
+        assert health["alerts"]["rules"] > 0
+
+    def test_status_payload_tracks_run_state(self, server):
+        result = run_simulation(
+            self.run_config(server), keep_engine=True
+        )
+        _, _, body = fetch(server.url + "/status")
+        status = json.loads(body)
+        assert status["state"] == "finished"
+        assert status["kind"] == "run"
+        assert status["cycle"] == result.engine.now
+        assert isinstance(status["alerts"], list)
+
+    def test_owned_server_stops_when_the_run_finishes(self):
+        config = SimConfig(
+            radix=4, dims=2, routing="cr", load=0.2, message_length=8,
+            warmup=50, measure=200, drain=2000, seed=2,
+            sample_interval=100, serve=True,
+        )
+        result = run_simulation(config, keep_engine=True)
+        telemetry = result.engine.telemetry
+        assert telemetry.owns_server  # serve=True built a fresh server
+        assert not telemetry.server.running  # ...and stopped it on close
+        assert telemetry.server.status()["state"] == "finished"
+
+    def test_build_info_labels(self, server):
+        from repro import __version__
+        from repro.campaign.store import STORE_SCHEMA_VERSION
+
+        run_simulation(self.run_config(server, engine="fast"))
+        _, _, metrics = fetch(server.url + "/metrics")
+        key = (
+            f'cr_build_info{{engine="FastEngine",'
+            f'schema="{STORE_SCHEMA_VERSION}",'
+            f'version="{__version__}"}}'
+        )
+        assert parse_prometheus_text(metrics)[
+            "cr_build_info"
+        ]["samples"][key] == 1.0
