@@ -91,6 +91,7 @@ from .campaign import (
     render_markdown,
     render_status,
     run_campaign,
+    run_fabric,
 )
 from .sim.sweep import (
     load_sweep,
@@ -198,7 +199,7 @@ from .workload import (
     save_workload_trace,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # simulation entry points
@@ -227,6 +228,7 @@ __all__ = [
     "CampaignRunStats",
     "CampaignMonitor",
     "run_campaign",
+    "run_fabric",
     "compare_campaigns",
     "render_markdown",
     "render_status",

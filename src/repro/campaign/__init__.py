@@ -9,7 +9,12 @@ The layer between one-off sweeps and paper-scale evaluation:
   results store recording every point with full provenance (config
   hash, library version, schema version, wall time, timestamp).
 * :mod:`~repro.campaign.runner` — :func:`run_campaign`, crash-safe and
-  resumable execution on top of :mod:`repro.sim.parallel`.
+  resumable execution on top of :mod:`repro.sim.parallel`, structured
+  as explicit submit / lease / report phases.
+* :mod:`~repro.campaign.fabric` — the distributed fabric:
+  :class:`Coordinator` plus N lease-based :class:`Worker` processes
+  sharding one campaign over a shared store, surviving worker loss
+  (``cr-sim campaign run --workers-fabric N`` / ``campaign worker``).
 * :mod:`~repro.campaign.report` — cross-campaign regression reports
   (markdown/CSV) using the replication significance machinery.
 * :mod:`~repro.campaign.monitor` — a live atomic ``status.json``
@@ -28,6 +33,14 @@ Quick start::
         print(stats.ran, "run,", stats.skipped, "resumed")
 """
 
+from .fabric import (
+    Coordinator,
+    FabricStats,
+    Worker,
+    WorkerStats,
+    run_fabric,
+    spawn_worker,
+)
 from .library import BUILTIN_CAMPAIGNS, campaign_names, get_campaign
 from .monitor import (
     CampaignMonitor,
@@ -49,7 +62,12 @@ from .runner import (
     run_campaign,
 )
 from .spec import CampaignPoint, CampaignSpec, Grid
-from .store import DEFAULT_DB_PATH, STORE_SCHEMA_VERSION, CampaignStore
+from .store import (
+    DEFAULT_DB_PATH,
+    STORE_SCHEMA_VERSION,
+    CampaignStore,
+    Lease,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -61,6 +79,13 @@ __all__ = [
     "run_campaign",
     "CampaignRunStats",
     "CampaignPointStatus",
+    "run_fabric",
+    "spawn_worker",
+    "Coordinator",
+    "Worker",
+    "FabricStats",
+    "WorkerStats",
+    "Lease",
     "compare_campaigns",
     "render_markdown",
     "comparison_to_csv",

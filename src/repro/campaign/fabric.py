@@ -1,0 +1,676 @@
+"""Distributed campaign fabric: lease-based multi-worker sharding.
+
+The paper's stance is recovery over avoidance — kill a deadlocked worm
+and retry, rather than constraining routing to prevent the deadlock.
+The fabric applies the same stance to campaign orchestration: instead
+of a scheduler that must never lose a worker, any number of
+:class:`Worker` processes (same host or many hosts sharing the store
+path) *lease* pending points from the WAL-mode
+:class:`~repro.campaign.store.CampaignStore`, run them through the
+normal :func:`~repro.sim.parallel.run_reports` path, and journal
+results through the usual ``record_*`` store methods.  Worker loss is
+recovered, not prevented:
+
+* leases carry an expiry a background heartbeat thread keeps pushing
+  forward; a SIGKILLed, crashed, or partitioned worker simply stops
+  renewing;
+* an expired lease is **reclaimed** by the next worker that asks —
+  the attempt counter advances past the dead worker's, and every
+  result write is *fenced* on ``(worker_id, attempt)``, so a zombie
+  worker that comes back after losing its lease can never overwrite
+  the new owner's row;
+* completed rows are never lost and never duplicated: the results
+  table is keyed on ``(campaign, point_id)`` and fenced writes are
+  discarded, so worker loss costs only in-flight points.
+
+The :class:`Coordinator` owns no scheduling: it registers the grid
+(submit phase), then aggregates — per-worker heartbeats, live and
+expired leases, reclaim totals — into the same atomic
+``<name>.status.json`` heartbeat ``cr-sim campaign watch`` renders
+(now with a per-worker liveness pane) and publishes ``cr_fabric_*``
+gauges through the :class:`~repro.obs.server.TelemetryServer`.  It is
+also restartable: if the coordinator dies, workers keep leasing and
+journaling; a new coordinator just resumes aggregating.
+
+Entry points: ``cr-sim campaign run <spec> --workers-fabric N``
+(coordinator + N local worker processes) and ``cr-sim campaign worker
+<name>`` (one worker against an existing campaign, e.g. on another
+host), or :func:`run_fabric` / :class:`Worker` from Python.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..obs.metrics import MetricsRegistry
+from ..sim.parallel import PointFailure, run_reports
+from .monitor import STALE_AFTER, status_path, write_status
+from .runner import (
+    CampaignProgress,
+    CampaignRunStats,
+    PointReporter,
+    point_candidates,
+    submit_campaign,
+)
+from .spec import CampaignPoint, CampaignSpec
+from .store import CampaignStore, Lease
+
+#: default lease time-to-live (seconds); a worker renews at ttl/3, so
+#: one missed beat survives and a dead worker is reclaimable within ttl.
+DEFAULT_TTL = 15.0
+
+#: default points leased per batch: small enough that worker loss costs
+#: little, large enough to amortise the lease transaction.
+DEFAULT_BATCH = 2
+
+#: default idle poll (seconds) while other workers hold all the work.
+DEFAULT_POLL = 0.25
+
+#: attempts (across all workers) before a failing point is terminal.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+def default_worker_id() -> str:
+    """A worker identity unique across hosts sharing one store."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+# ----------------------------------------------------------------------
+# Worker: lease -> run -> report, heartbeat-renewed
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerStats:
+    """What one :class:`Worker` process contributed to a campaign."""
+
+    total: int = 0  #: points in the campaign grid
+    ran: int = 0  #: points this worker completed ok
+    failed: int = 0  #: attempts this worker journaled as failures
+    fenced: int = 0  #: stale results discarded (lease lost to a reclaim)
+    reclaims: int = 0  #: expired leases this worker took over
+    batches: int = 0  #: lease batches acquired
+    complete: bool = False  #: campaign fully settled when the worker left
+
+
+class Worker:
+    """One fabric worker process: lease a batch, simulate, journal, repeat.
+
+    The loop is crash-safe by construction — a worker holds no state
+    another worker cannot reconstruct from the store.  Between
+    batches it re-reads the settlement state, so it exits (with
+    ``stats.complete``) as soon as every point is either stored ``ok``
+    under the current config hash or terminally failed.
+
+    A daemon heartbeat thread (its own SQLite connection) renews the
+    worker's held leases every ``ttl / 3`` seconds and upserts the
+    worker's liveness row the coordinator aggregates.  Kill the
+    process at any moment: the thread dies with it, the leases expire,
+    and survivors reclaim the in-flight points.
+    """
+
+    def __init__(
+        self,
+        campaign: str,
+        db_path: str,
+        worker_id: Optional[str] = None,
+        batch: int = DEFAULT_BATCH,
+        ttl: float = DEFAULT_TTL,
+        poll: float = DEFAULT_POLL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        verify: bool = False,
+        progress: Optional[CampaignProgress] = None,
+    ) -> None:
+        self.campaign = campaign
+        self.db_path = str(db_path)
+        self.worker_id = worker_id or default_worker_id()
+        self.batch = max(1, int(batch))
+        self.ttl = float(ttl)
+        self.poll = float(poll)
+        self.max_attempts = max(1, int(max_attempts))
+        self.verify = verify
+        self.progress = progress
+        self.stats = WorkerStats()
+        self._held: Dict[str, Lease] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    # -- heartbeat thread ----------------------------------------------
+
+    def _beat(self, store: CampaignStore, state: str) -> None:
+        with self._lock:
+            held_ids = list(self._held)
+        if held_ids:
+            store.renew_leases(self.campaign, self.worker_id, held_ids,
+                               self.ttl)
+        store.worker_heartbeat(
+            self.campaign, self.worker_id, state=state,
+            pid=os.getpid(), host=socket.gethostname(),
+            done=self.stats.ran, failed=self.stats.failed,
+            leases=len(held_ids), reclaims=self.stats.reclaims,
+        )
+
+    def _heartbeat_loop(self) -> None:
+        store = CampaignStore(self.db_path)
+        try:
+            while not self._stop.wait(self.ttl / 3.0):
+                self._beat(store, "running")
+        finally:
+            store.close()
+
+    # -- the lease -> run -> report loop --------------------------------
+
+    def run(self) -> WorkerStats:
+        """Work the campaign until it settles; returns this worker's stats.
+
+        Raises :class:`LookupError` when the campaign was never
+        registered in the store (submit the spec first — the
+        coordinator, ``run_campaign``, or ``cr-sim campaign run`` all
+        do).
+        """
+        store = CampaignStore(self.db_path)
+        try:
+            spec = store.spec(self.campaign)
+            if spec is None:
+                raise LookupError(
+                    f"campaign {self.campaign!r} is not registered in "
+                    f"{self.db_path}; run the coordinator (or "
+                    f"`cr-sim campaign run`) first"
+                )
+            return self._run(store, spec)
+        finally:
+            self._stop.set()
+            store.close()
+
+    def _run(self, store: CampaignStore, spec: CampaignSpec) -> WorkerStats:
+        # Re-run the submit phase against the stored spec: expansion is
+        # deterministic, so every worker sees the identical point list
+        # (the re-register is an idempotent refresh).
+        points = submit_campaign(spec, store, verify=self.verify)
+        by_id = {point.point_id: point for point in points}
+        candidates = point_candidates(points)
+        expected = dict(candidates)
+        self.stats.total = len(points)
+
+        run_stats = CampaignRunStats(total=len(points))
+        reporter = PointReporter(spec, store, run_stats,
+                                 progress=self.progress)
+
+        self._beat(store, "running")  # visible before the first lease
+        thread = threading.Thread(
+            target=self._heartbeat_loop,
+            name=f"cr-fabric-heartbeat:{self.worker_id}",
+            daemon=True,
+        )
+        thread.start()
+        try:
+            while True:
+                if self._settled(store, expected):
+                    self.stats.complete = True
+                    break
+                leases = store.acquire_leases(
+                    self.campaign, self.worker_id, candidates,
+                    limit=self.batch, ttl=self.ttl,
+                    max_attempts=self.max_attempts,
+                )
+                if not leases:
+                    # Everything pending is leased elsewhere: wait for
+                    # completion, a failure, or an expiry to reclaim.
+                    time.sleep(self.poll)
+                    continue
+                self._run_batch(store, reporter, by_id, leases)
+        finally:
+            self._stop.set()
+            thread.join(timeout=self.ttl)
+            self._beat(store, "finished" if self.stats.complete
+                       else "stopped")
+        return self.stats
+
+    def _run_batch(
+        self,
+        store: CampaignStore,
+        reporter: PointReporter,
+        by_id: Dict[str, CampaignPoint],
+        leases: Sequence[Lease],
+    ) -> None:
+        self.stats.batches += 1
+        self.stats.reclaims += sum(
+            1 for lease in leases if lease.reclaimed
+        )
+        with self._lock:
+            self._held.update({lease.point_id: lease for lease in leases})
+        batch_points = [by_id[lease.point_id] for lease in leases]
+
+        def journal(index: int, report: object, elapsed: float,
+                    cached: bool) -> None:
+            lease = leases[index]
+            point = batch_points[index]
+            final = (isinstance(report, PointFailure)
+                     and lease.attempt >= self.max_attempts)
+            outcome = reporter.report(
+                point, report, elapsed, lease.attempt, final=final,
+                fence=(self.worker_id, lease.attempt),
+            )
+            # The fenced store write released the lease atomically
+            # with the journal row; drop it from the renewal set.
+            with self._lock:
+                self._held.pop(point.point_id, None)
+            if outcome == "fenced":
+                self.stats.fenced += 1
+            elif outcome == "failed":
+                self.stats.failed += 1
+            elif outcome == "ok":
+                self.stats.ran += 1
+
+        try:
+            run_reports(
+                [point.config for point in batch_points],
+                workers=1, on_result=journal, failures="return",
+            )
+        finally:
+            # Belt and braces: anything not journaled (interrupt
+            # mid-batch) is released so others need not wait for expiry.
+            with self._lock:
+                leftovers = [lease for lease in leases
+                             if lease.point_id in self._held]
+                for lease in leftovers:
+                    self._held.pop(lease.point_id, None)
+            for lease in leftovers:
+                store.release_lease(self.campaign, lease.point_id,
+                                    self.worker_id, lease.attempt)
+
+    def _settled(self, store: CampaignStore,
+                 expected: Dict[str, Optional[str]]) -> bool:
+        states = store.result_states(self.campaign)
+        for point_id, expected_hash in expected.items():
+            state = states.get(point_id)
+            if state is None:
+                return False
+            if (state["status"] == "ok"
+                    and state["config_hash"] == expected_hash):
+                continue
+            if (state["status"] == "failed"
+                    and state["attempts"] >= self.max_attempts):
+                continue
+            return False
+        return True
+
+
+# ----------------------------------------------------------------------
+# Coordinator: submit, aggregate, publish
+# ----------------------------------------------------------------------
+
+@dataclass
+class FabricStats:
+    """What a fabric run settled to, as the coordinator saw it."""
+
+    total: int = 0
+    ok: int = 0  #: points stored ok under the current config hash
+    failed: int = 0  #: terminally failed points (attempts exhausted)
+    reclaims: int = 0  #: expired-lease takeovers across all workers
+    workers_seen: int = 0  #: distinct workers that ever heartbeat
+    elapsed: float = 0.0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def done(self) -> int:
+        return self.ok + self.failed
+
+    @property
+    def complete(self) -> bool:
+        return self.ok == self.total
+
+
+class Coordinator:
+    """Submits the grid, then aggregates fabric state until it settles.
+
+    Owns no scheduling — workers lease autonomously — so a coordinator
+    crash never stalls the campaign; restart it and aggregation
+    resumes.  Each :meth:`poll` reads the store once, derives the
+    campaign heartbeat (done/total/ETA plus the per-worker liveness
+    pane), writes it atomically for ``cr-sim campaign watch``, and
+    publishes the ``cr_fabric_*`` metrics to an attached
+    :class:`~repro.obs.server.TelemetryServer`.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: CampaignStore,
+        heartbeat_path: Optional[str] = None,
+        interval: float = 1.0,
+        ttl: float = DEFAULT_TTL,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        verify: bool = False,
+        server: Optional[Any] = None,
+        on_poll: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.interval = float(interval)
+        self.ttl = float(ttl)
+        self.max_attempts = max(1, int(max_attempts))
+        self.server = server
+        self.on_poll = on_poll
+        self.path = heartbeat_path or status_path(store.path, spec.name)
+        points = submit_campaign(spec, store, verify=verify)
+        self.expected = dict(point_candidates(points))
+        self.total = len(points)
+        self._started = time.monotonic()
+        self._rate_window: deque = deque(maxlen=32)
+        self._last_reclaims = 0.0
+
+        self.registry = MetricsRegistry(prefix="cr_fabric_")
+        self._g_live = self.registry.gauge(
+            "workers_live", "Fabric workers with a fresh heartbeat.")
+        self._g_workers = self.registry.gauge(
+            "workers_seen", "Distinct fabric workers ever seen.")
+        self._g_held = self.registry.gauge(
+            "leases_held", "Live (unexpired) leases across all workers.")
+        self._g_expired = self.registry.gauge(
+            "leases_expired",
+            "Expired leases awaiting reclaim by a surviving worker.")
+        self._g_done = self.registry.gauge(
+            "points_done", "Campaign points settled (ok + terminal).")
+        self._g_failed = self.registry.gauge(
+            "points_failed", "Campaign points terminally failed.")
+        self.registry.gauge(
+            "points_total", "Campaign points in the expanded grid."
+        ).set(self.total)
+        self._c_reclaims = self.registry.counter(
+            "lease_reclaims_total",
+            "Expired leases taken over from dead workers.")
+        from .. import __version__
+        from .store import STORE_SCHEMA_VERSION
+
+        self.registry.gauge(
+            "build_info",
+            "Constant 1; the labels attribute scrapes to a repro "
+            "version and campaign store schema.",
+            labels={"version": __version__,
+                    "schema": str(STORE_SCHEMA_VERSION)},
+        ).set(1)
+
+    # -- one aggregation step -------------------------------------------
+
+    def poll(self, state: str = "running") -> Dict[str, Any]:
+        """Read the store once; write + publish the aggregated heartbeat."""
+        now = time.time()
+        states = self.store.result_states(self.spec.name)
+        ok = failed = 0
+        failures: List[str] = []
+        for point_id, expected_hash in self.expected.items():
+            stored = states.get(point_id)
+            if stored is None:
+                continue
+            if (stored["status"] == "ok"
+                    and stored["config_hash"] == expected_hash):
+                ok += 1
+            elif (stored["status"] == "failed"
+                    and stored["attempts"] >= self.max_attempts):
+                failed += 1
+                failures.append(point_id)
+        done = ok + failed
+
+        leases = self.store.leases(self.spec.name, now=now)
+        held = sum(1 for lease in leases if lease["live"])
+        expired = len(leases) - held
+
+        workers = []
+        live_workers = 0
+        reclaims = 0
+        for row in self.store.workers(self.spec.name):
+            age = max(0.0, now - row["last_seen"])
+            if row["state"] in ("finished", "stopped"):
+                liveness = row["state"]
+            elif age <= max(self.ttl, STALE_AFTER):
+                liveness = "live"
+                live_workers += 1
+            elif age <= 3.0 * max(self.ttl, STALE_AFTER):
+                liveness = "stale"
+            else:
+                liveness = "dead"
+            reclaims += row["reclaims"]
+            workers.append({
+                "worker_id": row["worker_id"],
+                "state": liveness,
+                "last_seen_age": age,
+                "pid": row["pid"],
+                "host": row["host"],
+                "done": row["done"],
+                "failed": row["failed"],
+                "leases": row["leases"],
+                "reclaims": row["reclaims"],
+            })
+
+        self._g_live.set(live_workers)
+        self._g_workers.set(len(workers))
+        self._g_held.set(held)
+        self._g_expired.set(expired)
+        self._g_done.set(done)
+        self._g_failed.set(failed)
+        if reclaims > self._last_reclaims:
+            self._c_reclaims.inc(reclaims - self._last_reclaims)
+            self._last_reclaims = reclaims
+
+        self._rate_window.append((time.monotonic(), done))
+        status = {
+            "name": self.spec.name,
+            "state": state if done < self.total else "finished",
+            "kind": "fabric",
+            "updated_at": now,
+            "elapsed_seconds": time.monotonic() - self._started,
+            "done": done,
+            "failed": failed,
+            "total": self.total,
+            "eta_seconds": self._eta(done),
+            "last_point": None,
+            "workers": workers,
+            "fabric": {
+                "live_workers": live_workers,
+                "workers_seen": len(workers),
+                "leases_held": held,
+                "leases_expired": expired,
+                "reclaims": int(reclaims),
+            },
+            "metrics": self.registry.snapshot(),
+        }
+        if self.path is not None:
+            write_status(self.path, status)
+        if self.server is not None:
+            from .. import __version__
+
+            self.server.publish(
+                metrics_text=self.registry.prometheus_text(),
+                health={
+                    "status": ("ok" if status["state"] == "running"
+                               else status["state"]),
+                    "campaign": self.spec.name,
+                    "done": done,
+                    "total": self.total,
+                    "workers_live": live_workers,
+                    "version": __version__,
+                },
+                status=status,
+            )
+        if self.on_poll is not None:
+            self.on_poll(status)
+        self._last_status = status
+        self._last_failures = failures
+        return status
+
+    def _eta(self, done: int) -> Optional[float]:
+        remaining = self.total - done
+        if remaining <= 0:
+            return 0.0
+        if len(self._rate_window) < 2:
+            return None
+        t0, d0 = self._rate_window[0]
+        t1, d1 = self._rate_window[-1]
+        if d1 <= d0 or t1 <= t0:
+            return None
+        return remaining * (t1 - t0) / (d1 - d0)
+
+    # -- the aggregation loop -------------------------------------------
+
+    def run(
+        self,
+        timeout: Optional[float] = None,
+        stop: Optional[Callable[[], bool]] = None,
+    ) -> FabricStats:
+        """Aggregate until the campaign settles; returns fabric stats.
+
+        ``stop`` is an optional predicate polled each interval (e.g.
+        "all my local worker processes exited"); ``timeout`` bounds the
+        wall clock.  Either way the final heartbeat is written before
+        returning, so ``campaign watch`` never sees a vanishing run.
+        """
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            status = self.poll()
+            if status["done"] >= self.total:
+                break
+            if stop is not None and stop():
+                status = self.poll()  # one last read after the signal
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            time.sleep(self.interval)
+        stats = FabricStats(
+            total=self.total,
+            ok=status["done"] - status["failed"],
+            failed=status["failed"],
+            reclaims=status["fabric"]["reclaims"],
+            workers_seen=status["fabric"]["workers_seen"],
+            elapsed=status["elapsed_seconds"],
+            failures=list(self._last_failures),
+        )
+        return stats
+
+
+# ----------------------------------------------------------------------
+# Local fan-out: coordinator + N worker subprocesses
+# ----------------------------------------------------------------------
+
+def _worker_env() -> Dict[str, str]:
+    """The spawned worker's environment, with this repro importable."""
+    env = dict(os.environ)
+    src_dir = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src_dir, env.get("PYTHONPATH")) if part
+    )
+    return env
+
+
+def spawn_worker(
+    campaign: str,
+    db_path: str,
+    worker_id: Optional[str] = None,
+    batch: int = DEFAULT_BATCH,
+    ttl: float = DEFAULT_TTL,
+    poll: float = DEFAULT_POLL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    verify: bool = False,
+    quiet: bool = True,
+) -> "subprocess.Popen[bytes]":
+    """Launch one ``cr-sim campaign worker`` subprocess against a store.
+
+    The campaign must already be registered (the coordinator's submit
+    phase does this).  The child is a real OS process — SIGKILL it and
+    the fabric's recovery path, not Python cleanup, puts its points
+    back into play.
+    """
+    cmd = [
+        sys.executable, "-m", "repro.cli", "campaign", "worker",
+        campaign, "--db", str(db_path),
+        "--batch", str(batch), "--ttl", str(ttl), "--poll", str(poll),
+        "--max-attempts", str(max_attempts),
+    ]
+    if worker_id:
+        cmd += ["--worker-id", worker_id]
+    if verify:
+        cmd += ["--verify"]
+    return subprocess.Popen(
+        cmd,
+        env=_worker_env(),
+        stdout=subprocess.DEVNULL if quiet else None,
+        stderr=subprocess.DEVNULL if quiet else None,
+    )
+
+
+def run_fabric(
+    spec: CampaignSpec,
+    db_path: str,
+    workers: int = 2,
+    batch: int = DEFAULT_BATCH,
+    ttl: float = DEFAULT_TTL,
+    poll: float = DEFAULT_POLL,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    interval: float = 1.0,
+    verify: bool = False,
+    serve: Optional[object] = None,
+    heartbeat_path: Optional[str] = None,
+    timeout: Optional[float] = None,
+    on_poll: Optional[Callable[[Dict[str, Any]], None]] = None,
+    quiet_workers: bool = True,
+) -> FabricStats:
+    """Run a campaign sharded across ``workers`` local worker processes.
+
+    The coordinator registers the grid, spawns the workers, aggregates
+    until every point settles (or all workers die / ``timeout``
+    expires), then reaps the children.  Raising inside aggregation
+    still terminates the children.  ``serve`` attaches a telemetry
+    server exactly like :func:`~repro.campaign.runner.run_campaign`.
+    """
+    server = None
+    owns_server = False
+    if serve is not None and serve is not False:
+        from ..obs.server import TelemetryServer, make_telemetry_server
+
+        owns_server = not isinstance(serve, TelemetryServer)
+        server = make_telemetry_server(serve)
+
+    store = CampaignStore(db_path)
+    procs: List["subprocess.Popen[bytes]"] = []
+    try:
+        coordinator = Coordinator(
+            spec, store, heartbeat_path=heartbeat_path,
+            interval=interval, ttl=ttl, max_attempts=max_attempts,
+            verify=verify, server=server, on_poll=on_poll,
+        )
+        procs = [
+            spawn_worker(
+                spec.name, db_path, worker_id=f"worker-{index + 1}",
+                batch=batch, ttl=ttl, poll=poll,
+                max_attempts=max_attempts, verify=verify,
+                quiet=quiet_workers,
+            )
+            for index in range(max(1, int(workers)))
+        ]
+        stats = coordinator.run(
+            timeout=timeout,
+            stop=lambda: all(proc.poll() is not None for proc in procs),
+        )
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait(timeout=10.0)
+        store.close()
+        if server is not None and owns_server:
+            server.stop()
+    return stats

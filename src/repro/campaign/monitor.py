@@ -133,6 +133,7 @@ class CampaignMonitor:
                     "schema": str(STORE_SCHEMA_VERSION)},
         ).set(1)
         self.done = 0
+        self.failed_settled = 0  #: terminal failures counted into done
         self._recent_wall: deque = deque(maxlen=ROLLING_WINDOW)
         self._recent_kill_rate: deque = deque(maxlen=ROLLING_WINDOW)
         self._recent_alerts: deque = deque(maxlen=ROLLING_WINDOW)
@@ -147,14 +148,21 @@ class CampaignMonitor:
         outcome: str,
         elapsed: float,
         report: Optional[Dict[str, Any]] = None,
+        final: bool = False,
     ) -> None:
         """Record one settled point and maybe write the heartbeat.
 
-        Failed points don't advance ``done`` (they may be retried);
-        their outcome still lands in the counters and ``last_point``.
+        Failed points that may still be retried don't advance ``done``;
+        a failure marked ``final`` (retries exhausted) *settles*: it
+        advances ``done`` and counts into the visible ``done (N
+        failed)`` state, so progress and the ETA reach ``total``
+        instead of sticking just below it forever.
         """
         if outcome in ("ok", "skipped"):
             self.done += 1
+        elif outcome == "failed" and final:
+            self.done += 1
+            self.failed_settled += 1
         counter = self._outcomes.get(outcome)
         if counter is not None:
             counter.inc()
@@ -220,6 +228,7 @@ class CampaignMonitor:
             "updated_at": time.time(),
             "elapsed_seconds": self._clock() - self._started,
             "done": self.done,
+            "failed": self.failed_settled,
             "total": self.total,
             "eta_seconds": self.eta_seconds(),
             "last_point": self._last_point,
@@ -355,8 +364,44 @@ def render_status(status: Dict[str, Any], width: int = 72,
         lines.extend(render_alerts(status))
         return "\n".join(lines)
     lines.extend(_render_progress(status, width))
+    if status.get("workers"):
+        lines.extend(render_workers(status))
     lines.extend(render_alerts(status))
     return "\n".join(lines)
+
+
+def render_workers(status: Dict[str, Any]) -> List[str]:
+    """The fabric coordinator's per-worker liveness pane.
+
+    One line per worker heartbeat the coordinator aggregated: liveness
+    (``live``/``stale``/``dead``/``finished``), points done (failed),
+    leases currently held, and reclaims performed.  Pure — reads only
+    the heartbeat dict ``cr-sim campaign watch`` already consumes.
+    """
+    workers = status.get("workers") or []
+    fabric = status.get("fabric") or {}
+    head = f"  workers: {len(workers)}"
+    live = fabric.get("live_workers")
+    if live is not None:
+        head += f" ({live} live)"
+    reclaims = fabric.get("reclaims")
+    if reclaims:
+        head += f"   lease reclaims: {reclaims}"
+    lines = [head]
+    marks = {"live": "+", "finished": "=", "stale": "?", "dead": "!"}
+    for worker in workers:
+        state = worker.get("state", "?")
+        age = worker.get("last_seen_age")
+        lines.append(
+            f"   {marks.get(state, ' ')} {worker.get('worker_id', '?'):16s}"
+            f" [{state:8s}] done {worker.get('done', 0)}"
+            f" ({worker.get('failed', 0)} failed)"
+            f"  leases {worker.get('leases', 0)}"
+            f"  reclaims {worker.get('reclaims', 0)}"
+            + (f"  seen {_fmt_duration(age)} ago" if age is not None
+               else "")
+        )
+    return lines
 
 
 def _render_progress(status: Dict[str, Any],
@@ -367,9 +412,11 @@ def _render_progress(status: Dict[str, Any],
     bar_width = max(10, width - 30)
     filled = int(round(frac * bar_width))
     bar = "#" * filled + "-" * (bar_width - filled)
+    failed = int(status.get("failed", 0) or 0)
+    failed_note = f" ({failed} failed)" if failed else ""
     lines = [
         f"campaign {status.get('name', '?')} [{status.get('state', '?')}]",
-        f"  [{bar}] {done}/{total} ({100 * frac:.0f}%)",
+        f"  [{bar}] {done}/{total} ({100 * frac:.0f}%){failed_note}",
         f"  elapsed {_fmt_duration(status.get('elapsed_seconds'))}"
         f"   eta {_fmt_duration(status.get('eta_seconds'))}",
     ]

@@ -1,29 +1,49 @@
 """Campaign execution: resumable, crash-safe, failure-tolerant.
 
-The runner sits on top of :func:`repro.sim.parallel.run_reports` and
-adds the campaign-level concerns:
+The runner is structured as three explicit phases that the distributed
+fabric (:mod:`repro.campaign.fabric`) reuses verbatim:
+
+* **Submit** — :func:`submit_campaign` registers the spec in the
+  :class:`~repro.campaign.store.CampaignStore` and expands it into
+  runnable points (applying the ``verify`` transform).
+* **Lease** — deciding which pending points this executor runs.  The
+  local runner "leases" everything not already stored ``ok`` under a
+  matching config hash; fabric workers lease bounded batches through
+  the store's atomic lease table instead.
+* **Report** — :class:`PointReporter` journals every outcome through
+  the store (``record_success``/``record_failure`` plus the
+  timeseries/alerts side tables), feeds the heartbeat monitor and the
+  caller's progress callback, and settles terminal failures so
+  progress always reaches ``total``.
+
+Campaign-level guarantees on top of :func:`repro.sim.parallel.run_reports`:
 
 * **Resume** — points already stored ``ok`` with a matching config hash
   are skipped, so a killed-and-restarted run picks up exactly where it
   stopped (a changed spec or library version re-runs the stale points).
-* **Crash safety** — every point is journaled to the
-  :class:`~repro.campaign.store.CampaignStore` via the executor's
+* **Crash safety** — every point is journaled via the executor's
   ``on_result`` hook the moment it lands, in its own SQLite
   transaction; an interrupt between points loses only in-flight work.
 * **Failure tolerance** — a point whose simulation raises is retried
   with bounded backoff (``retries`` attempts, sleeping
   ``backoff * 2**attempt`` capped at ``backoff_cap``); a point that
-  keeps failing is recorded as ``failed`` and the campaign moves on
+  keeps failing is recorded as ``failed``, *settles into the done
+  count* (shown as ``done (N failed)``), and the campaign moves on
   instead of aborting.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple
 
-from ..sim.parallel import CacheSpec, PointFailure, run_reports
+from ..sim.parallel import (
+    CacheSpec,
+    PointFailure,
+    config_cache_key,
+    run_reports,
+)
 from .monitor import CampaignMonitor, status_path
 from .spec import CampaignPoint, CampaignSpec
 from .store import CampaignStore
@@ -36,7 +56,7 @@ class CampaignPointStatus:
     point_id: str
     outcome: str  #: 'ok' | 'failed' | 'skipped'
     elapsed: float
-    done: int  #: points settled so far (including skips)
+    done: int  #: points settled so far (skips and terminal failures count)
     total: int  #: points in the campaign
     attempt: int  #: 1-based attempt number that produced the outcome
 
@@ -60,6 +80,160 @@ class CampaignRunStats:
     def complete(self) -> bool:
         return self.skipped + self.ran == self.total
 
+
+# ----------------------------------------------------------------------
+# Submit phase
+# ----------------------------------------------------------------------
+
+def submit_campaign(
+    spec: CampaignSpec,
+    store: CampaignStore,
+    verify: bool = False,
+) -> List[CampaignPoint]:
+    """Register ``spec`` in the store and expand it into runnable points.
+
+    ``verify=True`` arms the repro.verify invariant checker on every
+    point's config (changing its hash, so unverified stored rows re-run
+    rather than resume).  Fabric workers call this against the spec
+    they load back from the store, so every executor sees the same
+    point list in the same order.
+    """
+    store.register(spec)
+    points = list(spec.points())
+    if verify:
+        points = [
+            replace(point, config=point.config.with_(verify=True))
+            for point in points
+        ]
+    return points
+
+
+def point_candidates(
+    points: List[CampaignPoint],
+) -> List[Tuple[str, Optional[str]]]:
+    """The ``(point_id, expected config hash)`` pairs the lease phase keys on."""
+    return [
+        (point.point_id, config_cache_key(point.config))
+        for point in points
+    ]
+
+
+# ----------------------------------------------------------------------
+# Report phase
+# ----------------------------------------------------------------------
+
+class PointReporter:
+    """Journals settled points: store + heartbeat monitor + progress.
+
+    One reporter serves both the local runner and a fabric worker; the
+    only difference is that workers pass a lease ``fence`` so a write
+    that lost its lease to a reclaim is discarded (outcome
+    ``"fenced"``) instead of clobbering the new owner's row.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: CampaignStore,
+        stats: CampaignRunStats,
+        monitor: Optional[CampaignMonitor] = None,
+        progress: Optional[CampaignProgress] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.stats = stats
+        self.monitor = monitor
+        self.progress = progress
+        self.settled = 0  #: ok + skipped + terminally failed
+
+    def skip(self, point: CampaignPoint) -> None:
+        """Settle a point already stored ok with matching provenance."""
+        self.stats.skipped += 1
+        self.settled += 1
+        if self.monitor is not None:
+            self.monitor.on_point(point, "skipped", 0.0)
+        self._progress(point, "skipped", 0.0, 0)
+
+    def report(
+        self,
+        point: CampaignPoint,
+        result: object,
+        elapsed: float,
+        attempt: int,
+        final: bool = False,
+        fence: Optional[Tuple[str, int]] = None,
+    ) -> str:
+        """Journal one landed result; returns the outcome recorded.
+
+        ``result`` is a report dict or a
+        :class:`~repro.sim.parallel.PointFailure`.  ``final`` marks a
+        failure that will not be retried: it settles into the done
+        count (the ``done (N failed)`` state) so progress and ETA
+        reach ``total`` instead of stalling just below it.  Returns
+        ``"ok"``, ``"failed"``, or ``"fenced"`` (fenced-out write,
+        nothing journaled).
+        """
+        if isinstance(result, PointFailure):
+            # Journal the failure immediately; a later successful
+            # retry overwrites the row (INSERT OR REPLACE).
+            wrote = self.store.record_failure(
+                self.spec.name, point, result.error, elapsed,
+                attempts=attempt, fence=fence,
+            )
+            if not wrote:
+                return "fenced"
+            if final:
+                self.settled += 1
+                self.stats.failed += 1
+                self.stats.failures.append(point.point_id)
+            if self.monitor is not None:
+                self.monitor.on_point(point, "failed", elapsed,
+                                      final=final)
+            self._progress(point, "failed", elapsed, attempt)
+            return "failed"
+
+        report = result if isinstance(result, dict) else None
+        projected = _project(result, self.spec.metrics)
+        wrote = self.store.record_success(
+            self.spec.name, point, projected, elapsed,
+            attempts=attempt, fence=fence,
+        )
+        if not wrote:
+            return "fenced"
+        # Interval samples (configs with sample_interval set) land in
+        # their own table; _project keeps them out of the flat metrics
+        # row.  Alert episodes journal the same way (schema-v3 table).
+        # Both only after the fenced write landed, so a stale worker
+        # never rewrites the current owner's side tables either.
+        series = report.get("timeseries") if report else None
+        if series:
+            self.store.record_timeseries(self.spec.name, point, series)
+        episodes = report.get("alerts") if report else None
+        if episodes:
+            self.store.record_alerts(self.spec.name, point, episodes)
+        if self.monitor is not None:
+            # The journal sees the full report (pre-_project), so the
+            # heartbeat's kill/retransmit rates come from counters the
+            # stored row may not keep.
+            self.monitor.on_point(point, "ok", elapsed, report)
+        self.settled += 1
+        self.stats.ran += 1
+        self.stats.wall_time += elapsed
+        self._progress(point, "ok", elapsed, attempt)
+        return "ok"
+
+    def _progress(self, point: CampaignPoint, outcome: str,
+                  elapsed: float, attempt: int) -> None:
+        if self.progress is not None:
+            self.progress(CampaignPointStatus(
+                point.point_id, outcome, elapsed, self.settled,
+                self.stats.total, attempt,
+            ))
+
+
+# ----------------------------------------------------------------------
+# The local (single-executor) runner
+# ----------------------------------------------------------------------
 
 def run_campaign(
     spec: CampaignSpec,
@@ -99,16 +273,13 @@ def run_campaign(
     owns and stops).  The campaign monitor republishes every heartbeat
     to it, so ``/metrics``, ``/health``, and ``/status`` stay live
     while points execute.
-    """
-    store.register(spec)
-    points = list(spec.points())
-    if verify:
-        from dataclasses import replace as _replace
 
-        points = [
-            _replace(point, config=point.config.with_(verify=True))
-            for point in points
-        ]
+    To shard a campaign across many worker processes or hosts instead,
+    see :func:`repro.campaign.fabric.run_fabric` and
+    ``cr-sim campaign run --workers-fabric N``.
+    """
+    # -- submit phase ---------------------------------------------------
+    points = submit_campaign(spec, store, verify=verify)
     stats = CampaignRunStats(total=len(points))
     done_hashes = store.completed(spec.name)
 
@@ -129,27 +300,21 @@ def run_campaign(
                 server=server,
             )
 
-    from ..sim.parallel import config_cache_key
+    reporter = PointReporter(spec, store, stats, monitor=monitor,
+                             progress=progress)
 
+    # -- lease phase (local: claim everything not already settled) -----
     pending: List[CampaignPoint] = []
-    settled = [0]
     for point in points:
         if (
             point.point_id in done_hashes
             and done_hashes[point.point_id] == config_cache_key(point.config)
         ):
-            stats.skipped += 1
-            settled[0] += 1
-            if monitor is not None:
-                monitor.on_point(point, "skipped", 0.0)
-            if progress is not None:
-                progress(CampaignPointStatus(
-                    point.point_id, "skipped", 0.0, settled[0],
-                    stats.total, 0,
-                ))
+            reporter.skip(point)
             continue
         pending.append(point)
 
+    # -- run + report phases --------------------------------------------
     attempt = 1
     while pending:
         failed_now: List[CampaignPoint] = []
@@ -157,52 +322,11 @@ def run_campaign(
         def journal(index: int, report: object, elapsed: float,
                     cached: bool) -> None:
             point = pending[index]
-            if isinstance(report, PointFailure):
+            final = isinstance(report, PointFailure) and attempt > retries
+            outcome = reporter.report(point, report, elapsed, attempt,
+                                      final=final)
+            if outcome == "failed" and not final:
                 failed_now.append(point)
-                # Journal the failure immediately; a later successful
-                # retry overwrites the row (INSERT OR REPLACE).
-                store.record_failure(
-                    spec.name, point, report.error, elapsed,
-                    attempts=attempt,
-                )
-                if monitor is not None:
-                    monitor.on_point(point, "failed", elapsed)
-                outcome = "failed"
-            else:
-                store.record_success(
-                    spec.name, point, _project(report, spec.metrics),
-                    elapsed, attempts=attempt,
-                )
-                # Interval samples (configs with sample_interval set)
-                # land in their own table; _project keeps them out of
-                # the flat metrics row.
-                series = (report.get("timeseries")
-                          if isinstance(report, dict) else None)
-                if series:
-                    store.record_timeseries(spec.name, point, series)
-                # Alert episodes (configs with alerts armed) land in
-                # the schema-v3 alerts table, same journaling shape.
-                episodes = (report.get("alerts")
-                            if isinstance(report, dict) else None)
-                if episodes:
-                    store.record_alerts(spec.name, point, episodes)
-                if monitor is not None:
-                    # The journal sees the full report (pre-_project),
-                    # so the heartbeat's kill/retransmit rates come
-                    # from counters the stored row may not keep.
-                    monitor.on_point(
-                        point, "ok", elapsed,
-                        report if isinstance(report, dict) else None,
-                    )
-                stats.ran += 1
-                settled[0] += 1
-                stats.wall_time += elapsed
-                outcome = "ok"
-            if progress is not None:
-                progress(CampaignPointStatus(
-                    point.point_id, outcome, elapsed, settled[0],
-                    stats.total, attempt,
-                ))
 
         run_reports(
             [point.config for point in pending],
@@ -213,10 +337,6 @@ def run_campaign(
         )
 
         if not failed_now:
-            break
-        if attempt > retries:
-            stats.failed = len(failed_now)
-            stats.failures = [point.point_id for point in failed_now]
             break
         stats.retried += len(failed_now)
         time.sleep(min(backoff * (2 ** (attempt - 1)), backoff_cap))

@@ -14,15 +14,30 @@ Resume semantics live in :meth:`CampaignStore.completed`: a point is
 hash matches the hash of the config the current spec would run — edit
 the spec (or upgrade the simulator version embedded in the hash entry)
 and the stale points re-run instead of being trusted.
+
+Since schema v4 the store is also the coordination surface for the
+distributed campaign fabric (:mod:`repro.campaign.fabric`): the file
+opens in WAL mode with a generous ``busy_timeout`` so many worker
+processes (or hosts sharing the path) can write concurrently, and two
+extra tables carry the fabric state — ``leases`` (which worker owns
+which in-flight point, until when, at which attempt) and ``workers``
+(per-worker heartbeats the coordinator aggregates).  Lease mutations
+run under ``BEGIN IMMEDIATE`` so acquisition is atomic across
+processes, and result writes accept an optional *fence*: a
+``(worker_id, attempt)`` pair that must still own the point's lease
+for the row to land, so a worker that lost its lease to a reclaim can
+never double-journal over the new owner.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import sqlite3
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..sim.parallel import config_cache_key
 from .spec import CampaignPoint, CampaignSpec
@@ -30,7 +45,12 @@ from .spec import CampaignPoint, CampaignSpec
 #: bump when the results table layout changes incompatibly.
 #: v2: added the timeseries table (interval-sampler metrics per point).
 #: v3: added the alerts table (alert episodes journaled per point).
-STORE_SCHEMA_VERSION = 3
+#: v4: added the leases + workers tables (distributed campaign fabric).
+STORE_SCHEMA_VERSION = 4
+
+#: how long (ms) a writer waits on a locked database before failing;
+#: sized for many worker processes journaling into one WAL file.
+BUSY_TIMEOUT_MS = 30_000
 
 #: default database location, next to the exported figure CSVs.
 DEFAULT_DB_PATH = os.path.join("results", "campaigns.sqlite")
@@ -85,7 +105,46 @@ CREATE TABLE IF NOT EXISTS alerts (
     schema_version INTEGER NOT NULL,
     PRIMARY KEY (campaign, point_id, seq)
 );
+CREATE TABLE IF NOT EXISTS leases (
+    campaign     TEXT NOT NULL,
+    point_id     TEXT NOT NULL,
+    worker_id    TEXT NOT NULL,
+    lease_expiry REAL NOT NULL,        -- wall-clock deadline (time.time)
+    attempt      INTEGER NOT NULL,     -- monotonic per point, fences writes
+    PRIMARY KEY (campaign, point_id)
+);
+CREATE TABLE IF NOT EXISTS workers (
+    campaign   TEXT NOT NULL,
+    worker_id  TEXT NOT NULL,
+    pid        INTEGER,
+    host       TEXT NOT NULL DEFAULT '',
+    state      TEXT NOT NULL DEFAULT 'running',
+    started_at REAL NOT NULL,
+    last_seen  REAL NOT NULL,
+    done       INTEGER NOT NULL DEFAULT 0,
+    failed     INTEGER NOT NULL DEFAULT 0,
+    leases     INTEGER NOT NULL DEFAULT 0,
+    reclaims   INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (campaign, worker_id)
+);
 """
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One granted lease: a worker's exclusive claim on a point.
+
+    ``attempt`` is monotonic per point (it folds in every prior lease
+    and every journaled attempt), so it doubles as the fencing token:
+    a result write fenced on ``(worker_id, attempt)`` lands only while
+    this exact lease is still the current one.
+    """
+
+    point_id: str
+    worker_id: str
+    attempt: int
+    expiry: float
+    reclaimed: bool = False  #: True when this grant took over an expired lease
 
 
 def _library_version() -> str:
@@ -105,10 +164,33 @@ class CampaignStore:
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
+        # isolation_level=None puts sqlite3 in autocommit: transactions
+        # are opened explicitly (BEGIN IMMEDIATE in _txn) so multi-
+        # process lease acquisition never deadlocks on a deferred
+        # read-to-write upgrade, which busy_timeout cannot retry.
+        self._conn = sqlite3.connect(
+            self.path, timeout=BUSY_TIMEOUT_MS / 1000.0,
+            isolation_level=None,
+        )
         self._conn.row_factory = sqlite3.Row
+        self._conn.execute(f"PRAGMA busy_timeout = {BUSY_TIMEOUT_MS}")
+        # WAL lets readers proceed under a writer and writers queue on
+        # the busy handler instead of failing; in-memory stores report
+        # journal_mode 'memory' and simply stay there.
+        self._conn.execute("PRAGMA journal_mode = WAL")
+        self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(_TABLES)
-        self._conn.commit()
+
+    @contextlib.contextmanager
+    def _txn(self) -> Iterator[sqlite3.Connection]:
+        """One IMMEDIATE write transaction: commit on exit, roll back on error."""
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._conn
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
 
     def close(self) -> None:
         self._conn.close()
@@ -124,7 +206,7 @@ class CampaignStore:
     def register(self, spec: CampaignSpec) -> None:
         """Record (or refresh) a campaign's spec for provenance."""
         now = time.time()
-        with self._conn:
+        with self._txn():
             self._conn.execute(
                 """
                 INSERT INTO campaigns (name, description, spec,
@@ -135,8 +217,12 @@ class CampaignStore:
                     spec = excluded.spec,
                     updated_at = excluded.updated_at
                 """,
+                # No sort_keys: axis order is load-bearing (point ids
+                # embed it), and fabric workers rebuild the grid from
+                # this JSON — a reordered round-trip would shard a
+                # different campaign than the coordinator registered.
                 (spec.name, spec.description,
-                 json.dumps(spec.to_dict(), sort_keys=True), now, now),
+                 json.dumps(spec.to_dict()), now, now),
             )
 
     def campaigns(self) -> List[Dict[str, Any]]:
@@ -165,10 +251,14 @@ class CampaignStore:
 
     def delete_campaign(self, campaign: str) -> int:
         """Drop a campaign and its results; returns rows removed."""
-        with self._conn:
+        with self._txn():
             cursor = self._conn.execute(
                 "DELETE FROM results WHERE campaign = ?", (campaign,)
             )
+            for table in ("leases", "workers", "timeseries", "alerts"):
+                self._conn.execute(
+                    f"DELETE FROM {table} WHERE campaign = ?", (campaign,)
+                )
             self._conn.execute(
                 "DELETE FROM campaigns WHERE name = ?", (campaign,)
             )
@@ -178,8 +268,29 @@ class CampaignStore:
 
     def _write(self, campaign: str, point: CampaignPoint, status: str,
                report: Optional[Dict[str, object]], error: Optional[str],
-               wall_time: float, attempts: int) -> None:
-        with self._conn:
+               wall_time: float, attempts: int,
+               fence: Optional[Tuple[str, int]] = None) -> bool:
+        with self._txn():
+            if fence is not None:
+                worker_id, attempt = fence
+                row = self._conn.execute(
+                    "SELECT worker_id, attempt FROM leases "
+                    "WHERE campaign = ? AND point_id = ?",
+                    (campaign, point.point_id),
+                ).fetchone()
+                if (row is None or row["worker_id"] != worker_id
+                        or row["attempt"] != attempt):
+                    # The lease was reclaimed (or released) out from
+                    # under the writer: its result is stale; discard it
+                    # so the current owner's row is never clobbered.
+                    return False
+                # Journal + release in the same transaction: the lease
+                # disappears exactly when the durable row exists.
+                self._conn.execute(
+                    "DELETE FROM leases WHERE campaign = ? "
+                    "AND point_id = ?",
+                    (campaign, point.point_id),
+                )
             self._conn.execute(
                 """
                 INSERT OR REPLACE INTO results
@@ -199,20 +310,31 @@ class CampaignStore:
                     error, attempts, wall_time, time.time(),
                 ),
             )
+        return True
 
     def record_success(self, campaign: str, point: CampaignPoint,
                        report: Dict[str, object], wall_time: float,
-                       attempts: int = 1) -> None:
-        """Journal one completed point (durable before the call returns)."""
-        self._write(campaign, point, "ok", report, None, wall_time,
-                    attempts)
+                       attempts: int = 1,
+                       fence: Optional[Tuple[str, int]] = None) -> bool:
+        """Journal one completed point (durable before the call returns).
+
+        ``fence=(worker_id, attempt)`` makes the write conditional on
+        that lease still being current (the fabric workers' path): a
+        fenced-out write is discarded and the method returns False.
+        """
+        return self._write(campaign, point, "ok", report, None,
+                           wall_time, attempts, fence=fence)
 
     def record_failure(self, campaign: str, point: CampaignPoint,
                        error: str, wall_time: float,
-                       attempts: int = 1) -> None:
-        """Journal a point whose simulation kept raising."""
-        self._write(campaign, point, "failed", None, error, wall_time,
-                    attempts)
+                       attempts: int = 1,
+                       fence: Optional[Tuple[str, int]] = None) -> bool:
+        """Journal a point whose simulation kept raising.
+
+        Accepts the same lease ``fence`` as :meth:`record_success`.
+        """
+        return self._write(campaign, point, "failed", None, error,
+                           wall_time, attempts, fence=fence)
 
     def record_timeseries(self, campaign: str, point: CampaignPoint,
                           rows: List[Dict[str, Any]]) -> int:
@@ -221,7 +343,7 @@ class CampaignStore:
         Replaces any previous samples for the point, so a re-run point
         never mixes old and new series; returns the rows written.
         """
-        with self._conn:
+        with self._txn():
             self._conn.execute(
                 "DELETE FROM timeseries WHERE campaign = ? "
                 "AND point_id = ?",
@@ -252,7 +374,7 @@ class CampaignStore:
         Replaces any previous episodes for the point (same semantics as
         :meth:`record_timeseries`); returns the rows written.
         """
-        with self._conn:
+        with self._txn():
             self._conn.execute(
                 "DELETE FROM alerts WHERE campaign = ? "
                 "AND point_id = ?",
@@ -279,7 +401,203 @@ class CampaignStore:
             )
         return len(rows)
 
+    # -- leases (distributed campaign fabric) --------------------------
+
+    def acquire_leases(
+        self,
+        campaign: str,
+        worker_id: str,
+        candidates: Sequence[Tuple[str, Optional[str]]],
+        limit: int,
+        ttl: float,
+        max_attempts: int = 3,
+        now: Optional[float] = None,
+    ) -> List[Lease]:
+        """Atomically lease up to ``limit`` pending points to ``worker_id``.
+
+        ``candidates`` is an ordered ``(point_id, expected_config_hash)``
+        sequence — normally every point of the expanded grid.  Inside
+        one IMMEDIATE transaction a candidate is granted unless it is
+
+        * already stored ``ok`` under the expected hash (completed),
+        * stored ``failed`` with ``attempts >= max_attempts`` (terminal),
+        * or covered by a *live* lease (another worker is running it).
+
+        A candidate whose lease has **expired** is taken over —
+        ``Lease.reclaimed`` is True and the attempt advances past the
+        dead worker's, so the dead worker's late writes are fenced out.
+        ``now`` defaults to ``time.time()``; tests inject clocks.
+        """
+        if now is None:
+            now = time.time()
+        granted: List[Lease] = []
+        with self._txn():
+            results = {
+                row["point_id"]: row
+                for row in self._conn.execute(
+                    "SELECT point_id, status, attempts, config_hash "
+                    "FROM results WHERE campaign = ?",
+                    (campaign,),
+                ).fetchall()
+            }
+            leases = {
+                row["point_id"]: row
+                for row in self._conn.execute(
+                    "SELECT point_id, worker_id, lease_expiry, attempt "
+                    "FROM leases WHERE campaign = ?",
+                    (campaign,),
+                ).fetchall()
+            }
+            for point_id, expected_hash in candidates:
+                if len(granted) >= limit:
+                    break
+                stored = results.get(point_id)
+                if stored is not None:
+                    if (stored["status"] == "ok"
+                            and stored["config_hash"] == expected_hash):
+                        continue  # completed: nothing to lease
+                    if (stored["status"] == "failed"
+                            and stored["attempts"] >= max_attempts):
+                        continue  # terminally failed: stop retrying
+                lease = leases.get(point_id)
+                reclaimed = False
+                prior = 0
+                if lease is not None:
+                    if lease["lease_expiry"] > now:
+                        continue  # live lease: someone else owns it
+                    reclaimed = lease["worker_id"] != worker_id
+                    prior = lease["attempt"]
+                if stored is not None:
+                    prior = max(prior, stored["attempts"])
+                attempt = prior + 1
+                expiry = now + ttl
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO leases "
+                    "(campaign, point_id, worker_id, lease_expiry, "
+                    " attempt) VALUES (?, ?, ?, ?, ?)",
+                    (campaign, point_id, worker_id, expiry, attempt),
+                )
+                granted.append(Lease(point_id, worker_id, attempt,
+                                     expiry, reclaimed))
+        return granted
+
+    def renew_leases(self, campaign: str, worker_id: str,
+                     point_ids: Sequence[str], ttl: float,
+                     now: Optional[float] = None) -> int:
+        """Heartbeat: push ``worker_id``'s leases out by ``ttl`` seconds.
+
+        Only leases still owned by the worker renew — a lease lost to a
+        reclaim stays with its new owner.  Returns how many renewed.
+        """
+        if now is None:
+            now = time.time()
+        if not point_ids:
+            return 0
+        with self._txn():
+            marks = ",".join("?" for _ in point_ids)
+            cursor = self._conn.execute(
+                f"UPDATE leases SET lease_expiry = ? "
+                f"WHERE campaign = ? AND worker_id = ? "
+                f"AND point_id IN ({marks})",
+                (now + ttl, campaign, worker_id, *point_ids),
+            )
+        return cursor.rowcount
+
+    def release_lease(self, campaign: str, point_id: str,
+                      worker_id: str, attempt: int) -> bool:
+        """Drop a lease without journaling (abandoning an attempt).
+
+        Fenced like the result writes: only the ``(worker_id,
+        attempt)`` owner can release.  Returns True if a row was
+        removed.
+        """
+        with self._txn():
+            cursor = self._conn.execute(
+                "DELETE FROM leases WHERE campaign = ? AND point_id = ? "
+                "AND worker_id = ? AND attempt = ?",
+                (campaign, point_id, worker_id, attempt),
+            )
+        return cursor.rowcount > 0
+
+    def leases(self, campaign: str,
+               now: Optional[float] = None) -> List[Dict[str, Any]]:
+        """Every lease row, flagged ``live`` or expired, oldest first."""
+        if now is None:
+            now = time.time()
+        rows = self._conn.execute(
+            "SELECT point_id, worker_id, lease_expiry, attempt "
+            "FROM leases WHERE campaign = ? ORDER BY lease_expiry",
+            (campaign,),
+        ).fetchall()
+        return [dict(row, live=row["lease_expiry"] > now)
+                for row in rows]
+
+    # -- workers (fabric heartbeats) -----------------------------------
+
+    def worker_heartbeat(
+        self,
+        campaign: str,
+        worker_id: str,
+        state: str = "running",
+        pid: Optional[int] = None,
+        host: str = "",
+        done: int = 0,
+        failed: int = 0,
+        leases: int = 0,
+        reclaims: int = 0,
+        now: Optional[float] = None,
+    ) -> None:
+        """Upsert one worker's liveness row (the fabric heartbeat)."""
+        if now is None:
+            now = time.time()
+        with self._txn():
+            self._conn.execute(
+                """
+                INSERT INTO workers (campaign, worker_id, pid, host,
+                                     state, started_at, last_seen,
+                                     done, failed, leases, reclaims)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT(campaign, worker_id) DO UPDATE SET
+                    pid = excluded.pid, host = excluded.host,
+                    state = excluded.state, last_seen = excluded.last_seen,
+                    done = excluded.done, failed = excluded.failed,
+                    leases = excluded.leases, reclaims = excluded.reclaims
+                """,
+                (campaign, worker_id, pid, host, state, now, now,
+                 done, failed, leases, reclaims),
+            )
+
+    def workers(self, campaign: str) -> List[Dict[str, Any]]:
+        """Every worker heartbeat row for a campaign, oldest first."""
+        rows = self._conn.execute(
+            "SELECT * FROM workers WHERE campaign = ? "
+            "ORDER BY started_at, worker_id",
+            (campaign,),
+        ).fetchall()
+        return [dict(row) for row in rows]
+
     # -- queries --------------------------------------------------------
+
+    def result_states(self, campaign: str) -> Dict[str, Dict[str, Any]]:
+        """point_id -> {status, attempts, config_hash} for every row.
+
+        The fabric's settlement query: cheaper than :meth:`rows` (no
+        JSON parsing) and it includes failed points, unlike
+        :meth:`completed`.
+        """
+        rows = self._conn.execute(
+            "SELECT point_id, status, attempts, config_hash "
+            "FROM results WHERE campaign = ?",
+            (campaign,),
+        ).fetchall()
+        return {
+            row["point_id"]: {
+                "status": row["status"],
+                "attempts": row["attempts"],
+                "config_hash": row["config_hash"],
+            }
+            for row in rows
+        }
 
     def completed(self, campaign: str) -> Dict[str, Optional[str]]:
         """point_id -> stored config hash for every 'ok' point."""

@@ -292,6 +292,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process-pool width (0 = one per CPU; default 1 = serial)",
     )
     crun_p.add_argument(
+        "--workers-fabric", type=int, default=0, metavar="N",
+        help="shard the campaign across N lease-based worker "
+             "processes (the distributed fabric; survives worker "
+             "loss, see docs/SIMULATOR.md). 0 = off (default)",
+    )
+    crun_p.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="fabric lease time-to-live before a dead worker's "
+             "points are reclaimed (default: 15)",
+    )
+    crun_p.add_argument(
+        "--lease-batch", type=int, default=None, metavar="POINTS",
+        help="points per fabric lease batch (default: 2)",
+    )
+    crun_p.add_argument(
         "--retries", type=int, default=2,
         help="extra attempts per failing point before recording failure",
     )
@@ -305,6 +320,44 @@ def _build_parser() -> argparse.ArgumentParser:
              "(changes point hashes: unverified points re-run)",
     )
     add_serve(crun_p)
+
+    cworker_p = camp_sub.add_parser(
+        "worker",
+        help="join a registered campaign as one fabric worker "
+             "(run the coordinator first; see docs/SIMULATOR.md)",
+    )
+    cworker_p.add_argument(
+        "name", help="campaign name registered in the store"
+    )
+    add_db(cworker_p)
+    cworker_p.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    cworker_p.add_argument(
+        "--batch", type=int, default=None, metavar="POINTS",
+        help="points leased per batch (default: 2)",
+    )
+    cworker_p.add_argument(
+        "--ttl", type=float, default=None, metavar="SECONDS",
+        help="lease time-to-live; heartbeat renews at ttl/3 "
+             "(default: 15)",
+    )
+    cworker_p.add_argument(
+        "--poll", type=float, default=None, metavar="SECONDS",
+        help="idle poll period while other workers hold all pending "
+             "points (default: 0.25)",
+    )
+    cworker_p.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="attempts across all workers before a failing point is "
+             "terminal (default: 3)",
+    )
+    cworker_p.add_argument(
+        "--verify", action="store_true",
+        help="arm the invariant checker on every point (must match "
+             "the coordinator's --verify)",
+    )
 
     cstat_p = camp_sub.add_parser(
         "status", help="stored campaigns, or one campaign in detail"
@@ -844,6 +897,20 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             data.setdefault("base", {})["workload"] = args.workload
         spec = CampaignSpec.from_dict(data)
 
+    fabric_workers = getattr(args, "workers_fabric", 0) or 0
+    if fabric_workers <= 0 and (
+        getattr(args, "lease_ttl", None) is not None
+        or getattr(args, "lease_batch", None) is not None
+    ):
+        print(
+            "cr-sim campaign run: --lease-ttl/--lease-batch need "
+            "--workers-fabric N",
+            file=sys.stderr,
+        )
+        return 2
+    if fabric_workers > 0:
+        return _campaign_run_fabric(args, spec, fabric_workers)
+
     def report(status: CampaignPointStatus) -> None:
         if status.outcome == "skipped":
             detail = "already stored"
@@ -881,6 +948,109 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     )
     for point_id in stats.failures:
         print(f"  failed: {point_id}", file=sys.stderr)
+    return 0 if stats.complete else 1
+
+
+def _campaign_run_fabric(args: argparse.Namespace, spec,
+                         workers: int) -> int:
+    """`campaign run --workers-fabric N`: coordinator + N local workers."""
+    from .campaign.fabric import (
+        DEFAULT_BATCH,
+        DEFAULT_TTL,
+        run_fabric,
+    )
+
+    if args.db == ":memory:":
+        print(
+            "cr-sim campaign run: the fabric shards across worker "
+            "processes, which need a shared on-disk --db (not :memory:)",
+            file=sys.stderr,
+        )
+        return 2
+
+    last = {"done": -1}
+
+    def narrate(status: Dict[str, Any]) -> None:
+        if status["done"] == last["done"]:
+            return
+        last["done"] = status["done"]
+        fabric = status["fabric"]
+        failed = status["failed"]
+        failed_note = f", {failed} failed" if failed else ""
+        print(
+            f"  [{status['done']}/{status['total']}{failed_note}] "
+            f"{fabric['live_workers']} worker(s) live, "
+            f"{fabric['leases_held']} lease(s) held, "
+            f"{fabric['reclaims']} reclaim(s)",
+            file=sys.stderr,
+        )
+
+    server = _start_server(getattr(args, "serve", None))
+    try:
+        stats = run_fabric(
+            spec,
+            args.db,
+            workers=workers,
+            batch=args.lease_batch or DEFAULT_BATCH,
+            ttl=args.lease_ttl or DEFAULT_TTL,
+            max_attempts=args.retries + 1,
+            verify=args.verify,
+            serve=server,
+            on_poll=narrate,
+        )
+    finally:
+        if server is not None:
+            server.stop()
+    print(
+        f"campaign {spec.name!r}: {stats.ok} point(s) ok, "
+        f"{stats.failed} failed across {stats.workers_seen} worker(s) "
+        f"({stats.reclaims} lease reclaim(s)), {stats.elapsed:.1f}s "
+        f"-> {args.db}"
+    )
+    for point_id in stats.failures:
+        print(f"  failed: {point_id}", file=sys.stderr)
+    return 0 if stats.complete else 1
+
+
+def _cmd_campaign_worker(args: argparse.Namespace) -> int:
+    from .campaign.fabric import (
+        DEFAULT_BATCH,
+        DEFAULT_MAX_ATTEMPTS,
+        DEFAULT_POLL,
+        DEFAULT_TTL,
+        Worker,
+    )
+
+    if args.db == ":memory:":
+        print(
+            "cr-sim campaign worker: fabric workers need a shared "
+            "on-disk --db (not :memory:)",
+            file=sys.stderr,
+        )
+        return 2
+    worker = Worker(
+        args.name,
+        args.db,
+        worker_id=args.worker_id,
+        batch=args.batch if args.batch is not None else DEFAULT_BATCH,
+        ttl=args.ttl if args.ttl is not None else DEFAULT_TTL,
+        poll=args.poll if args.poll is not None else DEFAULT_POLL,
+        max_attempts=(args.max_attempts if args.max_attempts is not None
+                      else DEFAULT_MAX_ATTEMPTS),
+        verify=args.verify,
+    )
+    try:
+        stats = worker.run()
+    except LookupError as exc:
+        print(f"cr-sim campaign worker: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"worker {worker.worker_id!r}: {stats.ran} point(s) run, "
+        f"{stats.failed} failed attempt(s), {stats.reclaims} lease(s) "
+        f"reclaimed over {stats.batches} batch(es); campaign "
+        f"{'complete' if stats.complete else 'incomplete'}",
+        file=sys.stderr,
+    )
     return 0 if stats.complete else 1
 
 
@@ -1026,6 +1196,8 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "run":
         return _cmd_campaign_run(args)
+    if args.campaign_command == "worker":
+        return _cmd_campaign_worker(args)
     if args.campaign_command == "status":
         return _cmd_campaign_status(args)
     if args.campaign_command == "report":

@@ -140,6 +140,56 @@ class TestFailures:
         (row,) = [r for r in store.rows("flaky") if r["load"] == 0.15]
         assert row["status"] == "ok" and row["attempts"] == 2
 
+    def test_terminal_failures_settle_progress_to_total(self, store):
+        """Regression: exhausted-retry points must settle into done.
+
+        Terminally failed points used to never advance the progress
+        callback's ``done``, so progress and the watch ETA stuck below
+        ``total`` forever.  They now settle into a visible
+        ``done (N failed)`` state.
+        """
+        spec = CampaignSpec.from_dict({
+            "name": "stall",
+            "base": {"radix": 4, "warmup": 50, "measure": 100,
+                     "drain": 1000, "message_length": 8},
+            "axes": {"routing": ["dor", "nope"], "load": [0.1]},
+        })
+        seen = []
+        stats = run_campaign(spec, store, retries=1, backoff=0.0,
+                             progress=seen.append)
+        assert (stats.ran, stats.failed) == (1, 1)
+        # progress reaches total despite the permanent failure...
+        assert seen[-1].done == seen[-1].total == 2
+        assert max(s.done for s in seen) == 2
+        # ...but only the FINAL failed attempt settles; the retried
+        # attempt must not inflate done past total.
+        failed_events = [s for s in seen if s.outcome == "failed"]
+        assert len(failed_events) == 2  # attempt 1 + final attempt 2
+        assert failed_events[0].done < failed_events[1].done
+
+    def test_terminal_failures_render_in_done_count(self, store):
+        """The heartbeat shows ``done (N failed)`` once retries exhaust."""
+        from repro.campaign.monitor import CampaignMonitor, render_status
+
+        spec = CampaignSpec.from_dict({
+            "name": "stallm",
+            "base": {"radix": 4, "warmup": 50, "measure": 100,
+                     "drain": 1000, "message_length": 8},
+            "axes": {"routing": ["dor", "nope"], "load": [0.1]},
+        })
+        monitor = CampaignMonitor("stallm", 2, path=None)
+        points = {p.scenario["routing"]: p for p in spec.points()}
+        monitor.on_point(points["dor"], "ok", 0.1, {})
+        monitor.on_point(points["nope"], "failed", 0.1)  # retryable
+        assert monitor.done == 1 and monitor.failed_settled == 0
+        monitor.on_point(points["nope"], "failed", 0.1, final=True)
+        assert monitor.done == 2 and monitor.failed_settled == 1
+        status = monitor.snapshot()
+        assert (status["done"], status["failed"]) == (2, 1)
+        assert monitor.eta_seconds() == 0.0  # no stall below total
+        rendered = render_status(status)
+        assert "2/2 (100%) (1 failed)" in rendered
+
     def test_failed_points_resume_as_pending(self, store, monkeypatch):
         spec = CampaignSpec.from_dict({
             "name": "f2",
