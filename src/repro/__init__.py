@@ -199,7 +199,7 @@ from .workload import (
     save_workload_trace,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     # simulation entry points

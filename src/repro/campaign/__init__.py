@@ -22,6 +22,9 @@ The layer between one-off sweeps and paper-scale evaluation:
   ``cr-sim campaign watch``.
 * :mod:`~repro.campaign.library` — built-in campaigns
   (``fault-matrix``, ``paper-core``).
+* :mod:`~repro.campaign.timeline` — the merged campaign timeline:
+  every fabric process's journaled trace spans rendered as one
+  Perfetto document (``cr-sim campaign timeline --perfetto``).
 
 Quick start::
 
@@ -68,6 +71,12 @@ from .store import (
     CampaignStore,
     Lease,
 )
+from .timeline import (
+    campaign_timeline,
+    default_timeline_path,
+    timeline_summary,
+    write_campaign_timeline,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -99,4 +108,8 @@ __all__ = [
     "render_status",
     "status_path",
     "write_status",
+    "campaign_timeline",
+    "default_timeline_path",
+    "timeline_summary",
+    "write_campaign_timeline",
 ]

@@ -50,7 +50,18 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs.log import StructuredLogger, campaign_log_path
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import (
+    TRACE_ARM_ENV,
+    TRACEPARENT_ENV,
+    Span,
+    SpanContext,
+    Tracer,
+    context_from_environ,
+    parse_traceparent,
+    tracing_armed,
+)
 from ..sim.parallel import PointFailure, run_reports
 from .monitor import STALE_AFTER, status_path, write_status
 from .runner import (
@@ -127,6 +138,9 @@ class Worker:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         verify: bool = False,
         progress: Optional[CampaignProgress] = None,
+        trace: Optional[bool] = None,
+        traceparent: Optional[str] = None,
+        log_level: str = "info",
     ) -> None:
         self.campaign = campaign
         self.db_path = str(db_path)
@@ -137,10 +151,19 @@ class Worker:
         self.max_attempts = max(1, int(max_attempts))
         self.verify = verify
         self.progress = progress
+        #: trace=None auto-arms from the CR_TRACE environment variable
+        #: the coordinator sets when it spawns traced workers.
+        self.trace = tracing_armed() if trace is None else bool(trace)
+        self.traceparent = traceparent
+        self.log_level = log_level
         self.stats = WorkerStats()
         self._held: Dict[str, Lease] = {}
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        self._tracer: Optional[Tracer] = None
+        self._logger: Optional[StructuredLogger] = None
+        self._session: Optional[Span] = None
+        self._lease_spans: Dict[str, Span] = {}
 
     # -- heartbeat thread ----------------------------------------------
 
@@ -148,13 +171,34 @@ class Worker:
         with self._lock:
             held_ids = list(self._held)
         if held_ids:
-            store.renew_leases(self.campaign, self.worker_id, held_ids,
-                               self.ttl)
+            renew = None
+            if self._tracer is not None and self._session is not None:
+                renew = self._tracer.start_span(
+                    "renew", kind="renew", parent=self._session,
+                    attrs={"held": len(held_ids)},
+                )
+            renewed = store.renew_leases(self.campaign, self.worker_id,
+                                         held_ids, self.ttl)
+            if renew is not None:
+                done = self._tracer.end_span(
+                    renew, "ok", attrs={"renewed": renewed})
+                store.record_spans(self.campaign, [done.to_dict()])
+            if self._logger is not None:
+                self._logger.debug("lease_renewed", held=len(held_ids),
+                                   renewed=renewed)
+        current = (self._tracer.current()
+                   if self._tracer is not None else None)
         store.worker_heartbeat(
             self.campaign, self.worker_id, state=state,
             pid=os.getpid(), host=socket.gethostname(),
             done=self.stats.ran, failed=self.stats.failed,
             leases=len(held_ids), reclaims=self.stats.reclaims,
+            span=(f"{current.name} {current.span_id[:8]}"
+                  if current is not None else ""),
+            spans=(self._tracer.finished
+                   if self._tracer is not None else 0),
+            logs=(self._logger.written
+                  if self._logger is not None else 0),
         )
 
     def _heartbeat_loop(self) -> None:
@@ -189,6 +233,71 @@ class Worker:
             self._stop.set()
             store.close()
 
+    def _trace_root(self, store: CampaignStore) -> Optional[SpanContext]:
+        """The coordinator's trace context this worker joins.
+
+        Priority: an explicit ``traceparent`` argument, then the
+        ``CR_TRACEPARENT`` environment (spawned workers), then the
+        campaign's open root span in the store (hand-started workers
+        on other hosts).  None starts a worker-local trace — the
+        worker still runs; the timeline just shows the discontinuity.
+        """
+        if self.traceparent:
+            try:
+                return parse_traceparent(self.traceparent)
+            except ValueError:
+                pass
+        context = context_from_environ()
+        if context is not None:
+            return context
+        row = store.open_root_span(self.campaign)
+        if row is not None:
+            return SpanContext(row["trace_id"], row["span_id"])
+        return None
+
+    def _arm(self, store: CampaignStore) -> None:
+        """Bring up this worker's tracer + structured logger."""
+        if not self.trace:
+            return
+        self._tracer = Tracer(worker_id=self.worker_id,
+                              root=self._trace_root(store))
+        self._logger = StructuredLogger(
+            campaign_log_path(self.db_path, self.campaign,
+                              self.worker_id),
+            worker_id=self.worker_id, level=self.log_level,
+            tracer=self._tracer,
+        )
+        self._session = self._tracer.start_span(
+            f"worker {self.worker_id}", kind="worker",
+            attrs={"pid": os.getpid(), "host": socket.gethostname()},
+        )
+        # Journal the session span open: a SIGKILLed worker leaves it
+        # behind for the coordinator's settle-time sweep to close.
+        store.record_spans(self.campaign, [self._session.to_dict()])
+        self._logger.info("worker_started", pid=os.getpid(),
+                          batch=self.batch, ttl=self.ttl)
+
+    def _disarm(self, store: CampaignStore) -> None:
+        """Close the session span + logger on an orderly exit."""
+        if self._logger is not None:
+            self._logger.info(
+                "worker_finished", ran=self.stats.ran,
+                failed=self.stats.failed, fenced=self.stats.fenced,
+                reclaims=self.stats.reclaims,
+                complete=self.stats.complete,
+            )
+        if self._tracer is not None and self._session is not None:
+            done = self._tracer.end_span(
+                self._session,
+                "ok" if self.stats.complete else "error",
+                attrs={"ran": self.stats.ran,
+                       "failed": self.stats.failed,
+                       "fenced": self.stats.fenced},
+            )
+            store.record_spans(self.campaign, [done.to_dict()])
+        if self._logger is not None:
+            self._logger.close()
+
     def _run(self, store: CampaignStore, spec: CampaignSpec) -> WorkerStats:
         # Re-run the submit phase against the stored spec: expansion is
         # deterministic, so every worker sees the identical point list
@@ -199,9 +308,11 @@ class Worker:
         expected = dict(candidates)
         self.stats.total = len(points)
 
+        self._arm(store)
         run_stats = CampaignRunStats(total=len(points))
         reporter = PointReporter(spec, store, run_stats,
-                                 progress=self.progress)
+                                 progress=self.progress,
+                                 tracer=self._tracer)
 
         self._beat(store, "running")  # visible before the first lease
         thread = threading.Thread(
@@ -229,6 +340,7 @@ class Worker:
         finally:
             self._stop.set()
             thread.join(timeout=self.ttl)
+            self._disarm(store)
             self._beat(store, "finished" if self.stats.complete
                        else "stopped")
         return self.stats
@@ -241,12 +353,39 @@ class Worker:
         leases: Sequence[Lease],
     ) -> None:
         self.stats.batches += 1
-        self.stats.reclaims += sum(
-            1 for lease in leases if lease.reclaimed
-        )
+        reclaimed = sum(1 for lease in leases if lease.reclaimed)
+        self.stats.reclaims += reclaimed
         with self._lock:
             self._held.update({lease.point_id: lease for lease in leases})
         batch_points = [by_id[lease.point_id] for lease in leases]
+
+        if self._tracer is not None:
+            # One lease span per granted point, journaled *open*: a
+            # SIGKILLed worker leaves them behind as orphans the next
+            # reclaim (or the coordinator's settle sweep) closes
+            # 'aborted', so the merged timeline shows the death.
+            opened = []
+            for lease in leases:
+                span = self._tracer.start_span(
+                    f"lease {lease.point_id}", kind="lease",
+                    parent=self._session, point_id=lease.point_id,
+                    attrs={"attempt": lease.attempt,
+                           "reclaimed": lease.reclaimed},
+                )
+                self._lease_spans[lease.point_id] = span
+                opened.append(span.to_dict())
+            store.record_spans(self.campaign, opened)
+        if self._logger is not None:
+            self._logger.info(
+                "batch_leased", points=len(leases), reclaimed=reclaimed,
+                point_ids=[lease.point_id for lease in leases],
+            )
+            if reclaimed:
+                self._logger.warning(
+                    "leases_reclaimed", count=reclaimed,
+                    point_ids=[lease.point_id for lease in leases
+                               if lease.reclaimed],
+                )
 
         def journal(index: int, report: object, elapsed: float,
                     cached: bool) -> None:
@@ -254,9 +393,21 @@ class Worker:
             point = batch_points[index]
             final = (isinstance(report, PointFailure)
                      and lease.attempt >= self.max_attempts)
+            parent = None
+            extra = None
+            lease_span = self._lease_spans.pop(point.point_id, None)
+            if lease_span is not None and self._tracer is not None:
+                # Close the lease span now and let it ride the fenced
+                # result transaction: if the write is fenced out, this
+                # 'ok' closure is discarded with it and the reclaimer's
+                # 'aborted' closure stands.
+                closed = self._tracer.end_span(lease_span, "ok")
+                parent = closed
+                extra = [closed.to_dict()]
             outcome = reporter.report(
                 point, report, elapsed, lease.attempt, final=final,
                 fence=(self.worker_id, lease.attempt),
+                parent=parent, extra_spans=extra,
             )
             # The fenced store write released the lease atomically
             # with the journal row; drop it from the renewal set.
@@ -268,6 +419,13 @@ class Worker:
                 self.stats.failed += 1
             elif outcome == "ok":
                 self.stats.ran += 1
+            if self._logger is not None:
+                level = "info" if outcome == "ok" else "warning"
+                self._logger.log(
+                    level, f"point_{outcome}", point_id=point.point_id,
+                    attempt=lease.attempt, elapsed=round(elapsed, 4),
+                    final=final,
+                )
 
         try:
             run_reports(
@@ -282,9 +440,17 @@ class Worker:
                              if lease.point_id in self._held]
                 for lease in leftovers:
                     self._held.pop(lease.point_id, None)
+            abandoned = []
             for lease in leftovers:
                 store.release_lease(self.campaign, lease.point_id,
                                     self.worker_id, lease.attempt)
+                span = self._lease_spans.pop(lease.point_id, None)
+                if span is not None and self._tracer is not None:
+                    abandoned.append(self._tracer.end_span(
+                        span, "aborted", attrs={"released": True},
+                    ).to_dict())
+            if abandoned:
+                store.record_spans(self.campaign, abandoned)
 
     def _settled(self, store: CampaignStore,
                  expected: Dict[str, Optional[str]]) -> bool:
@@ -351,6 +517,8 @@ class Coordinator:
         verify: bool = False,
         server: Optional[Any] = None,
         on_poll: Optional[Callable[[Dict[str, Any]], None]] = None,
+        trace: bool = False,
+        log_level: str = "info",
     ) -> None:
         self.spec = spec
         self.store = store
@@ -360,9 +528,50 @@ class Coordinator:
         self.server = server
         self.on_poll = on_poll
         self.path = heartbeat_path or status_path(store.path, spec.name)
-        points = submit_campaign(spec, store, verify=verify)
+
+        # -- tracing + structured logging (armed by trace=True) --------
+        self.trace = bool(trace)
+        self.tracer: Optional[Tracer] = None
+        self.root: Optional[Span] = None
+        self.logger: Optional[StructuredLogger] = None
+        self.trace_registry: Optional[MetricsRegistry] = None
+        self._span_rows_seen = 0
+        self._worker_liveness: Dict[str, str] = {}
+        self._c_spans = None
+        if self.trace:
+            # Its own cr_-prefixed registry so the scrape names match
+            # the worker-side taxonomy (cr_trace_spans_total is the
+            # fabric-wide journaled total, not one process's count).
+            self.trace_registry = MetricsRegistry(prefix="cr_")
+            self._c_spans = self.trace_registry.counter(
+                "trace_spans_total",
+                "Trace spans journaled into the campaign store.")
+            self.tracer = Tracer(worker_id="coordinator")
+            self.logger = StructuredLogger(
+                campaign_log_path(store.path, spec.name, "coordinator"),
+                worker_id="coordinator", level=log_level,
+                tracer=self.tracer, registry=self.trace_registry,
+            )
+            self.root = self.tracer.start_span(
+                f"campaign {spec.name}", kind="root",
+                attrs={"executor": "fabric"},
+            )
+
+        if self.tracer is not None:
+            submit = self.tracer.start_span("submit", kind="submit")
+            points = submit_campaign(spec, store, verify=verify)
+            submit = self.tracer.end_span(
+                submit, "ok", attrs={"points": len(points)})
+            # Root journals open (it is the trace-context fallback
+            # hand-started workers look up); submit journals closed.
+            store.record_spans(spec.name, [self.root.to_dict(),
+                                           submit.to_dict()])
+        else:
+            points = submit_campaign(spec, store, verify=verify)
         self.expected = dict(point_candidates(points))
         self.total = len(points)
+        if self.logger is not None:
+            self.logger.info("campaign_submitted", points=self.total)
         self._started = time.monotonic()
         self._rate_window: deque = deque(maxlen=32)
         self._last_reclaims = 0.0
@@ -397,6 +606,12 @@ class Coordinator:
             labels={"version": __version__,
                     "schema": str(STORE_SCHEMA_VERSION)},
         ).set(1)
+
+    def traceparent(self) -> Optional[str]:
+        """The root span's W3C traceparent (spawned workers join it)."""
+        if self.root is None:
+            return None
+        return self.root.context().traceparent()
 
     # -- one aggregation step -------------------------------------------
 
@@ -448,7 +663,28 @@ class Coordinator:
                 "failed": row["failed"],
                 "leases": row["leases"],
                 "reclaims": row["reclaims"],
+                "span": row["span"],
+                "spans": row["spans"],
+                "logs": row["logs"],
             })
+            if self.logger is not None:
+                previous = self._worker_liveness.get(row["worker_id"])
+                if previous is not None and previous != liveness:
+                    level = ("warning" if liveness in ("stale", "dead")
+                             else "info")
+                    self.logger.log(
+                        level, f"worker_{liveness}",
+                        worker=row["worker_id"], was=previous,
+                        last_seen_age=round(age, 2),
+                    )
+                self._worker_liveness[row["worker_id"]] = liveness
+
+        if self._c_spans is not None:
+            counts = self.store.span_counts(self.spec.name)
+            total_spans = sum(counts.values())
+            if total_spans > self._span_rows_seen:
+                self._c_spans.inc(total_spans - self._span_rows_seen)
+                self._span_rows_seen = total_spans
 
         self._g_live.set(live_workers)
         self._g_workers.set(len(workers))
@@ -487,8 +723,14 @@ class Coordinator:
         if self.server is not None:
             from .. import __version__
 
+            metrics_text = self.registry.prometheus_text()
+            if self.trace_registry is not None:
+                # Two registries, one scrape: cr_fabric_* gauges plus
+                # the cr_trace_spans_total / cr_log_records_total
+                # counters (valid Prometheus text concatenates).
+                metrics_text += self.trace_registry.prometheus_text()
             self.server.publish(
-                metrics_text=self.registry.prometheus_text(),
+                metrics_text=metrics_text,
                 health={
                     "status": ("ok" if status["state"] == "running"
                                else status["state"]),
@@ -553,21 +795,65 @@ class Coordinator:
             elapsed=status["elapsed_seconds"],
             failures=list(self._last_failures),
         )
+        self.settle(stats)
         return stats
+
+    def settle(self, stats: FabricStats) -> None:
+        """Close the trace: end the root span, sweep every straggler.
+
+        Called at the end of :meth:`run`; after it, the store holds no
+        span with status ``open`` — the "no span left open" guarantee
+        the merged timeline relies on.  A no-op without tracing.
+        """
+        if self.tracer is None or self.root is None:
+            return
+        if self.logger is not None:
+            self.logger.info(
+                "campaign_settled", ok=stats.ok, failed=stats.failed,
+                reclaims=stats.reclaims,
+                workers_seen=stats.workers_seen,
+            )
+        closed = self.tracer.end_span(
+            self.root, "ok" if stats.complete else "error",
+            attrs={"ok": stats.ok, "failed": stats.failed,
+                   "reclaims": stats.reclaims},
+        )
+        # Order matters: land the root's clean closure first, then
+        # abort whatever is still open (a SIGKILLed worker's session
+        # span, an orphan lease no survivor happened to reclaim).
+        self.store.record_spans(self.spec.name, [closed.to_dict()])
+        swept = self.store.close_open_spans(self.spec.name)
+        if swept and self.logger is not None:
+            self.logger.warning("orphan_spans_closed", count=swept)
+        if self.logger is not None:
+            self.logger.close()
+            self.logger = None
+        self.root = None  # settle is idempotent across run() calls
 
 
 # ----------------------------------------------------------------------
 # Local fan-out: coordinator + N worker subprocesses
 # ----------------------------------------------------------------------
 
-def _worker_env() -> Dict[str, str]:
-    """The spawned worker's environment, with this repro importable."""
+def _worker_env(trace: bool = False,
+                traceparent: Optional[str] = None) -> Dict[str, str]:
+    """The spawned worker's environment, with this repro importable.
+
+    ``trace`` arms the child's tracing+logging via ``CR_TRACE``;
+    ``traceparent`` propagates the coordinator's root span context via
+    ``CR_TRACEPARENT`` (the W3C-style subprocess boundary), so every
+    worker's spans join the coordinator's trace.
+    """
     env = dict(os.environ)
     src_dir = os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
     env["PYTHONPATH"] = os.pathsep.join(
         part for part in (src_dir, env.get("PYTHONPATH")) if part
     )
+    if trace:
+        env[TRACE_ARM_ENV] = "1"
+    if traceparent:
+        env[TRACEPARENT_ENV] = traceparent
     return env
 
 
@@ -581,13 +867,16 @@ def spawn_worker(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     verify: bool = False,
     quiet: bool = True,
+    trace: bool = False,
+    traceparent: Optional[str] = None,
 ) -> "subprocess.Popen[bytes]":
     """Launch one ``cr-sim campaign worker`` subprocess against a store.
 
     The campaign must already be registered (the coordinator's submit
     phase does this).  The child is a real OS process — SIGKILL it and
     the fabric's recovery path, not Python cleanup, puts its points
-    back into play.
+    back into play.  ``trace``/``traceparent`` arm the child's tracing
+    through the environment (see :func:`_worker_env`).
     """
     cmd = [
         sys.executable, "-m", "repro.cli", "campaign", "worker",
@@ -601,7 +890,7 @@ def spawn_worker(
         cmd += ["--verify"]
     return subprocess.Popen(
         cmd,
-        env=_worker_env(),
+        env=_worker_env(trace=trace, traceparent=traceparent),
         stdout=subprocess.DEVNULL if quiet else None,
         stderr=subprocess.DEVNULL if quiet else None,
     )
@@ -622,6 +911,7 @@ def run_fabric(
     timeout: Optional[float] = None,
     on_poll: Optional[Callable[[Dict[str, Any]], None]] = None,
     quiet_workers: bool = True,
+    trace: bool = False,
 ) -> FabricStats:
     """Run a campaign sharded across ``workers`` local worker processes.
 
@@ -646,6 +936,7 @@ def run_fabric(
             spec, store, heartbeat_path=heartbeat_path,
             interval=interval, ttl=ttl, max_attempts=max_attempts,
             verify=verify, server=server, on_poll=on_poll,
+            trace=trace,
         )
         procs = [
             spawn_worker(
@@ -653,6 +944,7 @@ def run_fabric(
                 batch=batch, ttl=ttl, poll=poll,
                 max_attempts=max_attempts, verify=verify,
                 quiet=quiet_workers,
+                trace=trace, traceparent=coordinator.traceparent(),
             )
             for index in range(max(1, int(workers)))
         ]

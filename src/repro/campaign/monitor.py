@@ -337,19 +337,23 @@ def heartbeat_age(status: Dict[str, Any],
 
 def render_status(status: Dict[str, Any], width: int = 72,
                   alerts_only: bool = False,
-                  now: Optional[float] = None) -> str:
+                  now: Optional[float] = None,
+                  stale_after: float = STALE_AFTER) -> str:
     """The heartbeat as a terminal block (pure; reads only the dict).
 
-    A running campaign whose heartbeat is older than
-    :data:`STALE_AFTER` renders a STALE banner first -- and the alert
-    lines still render after it, clearly marked as last-known, instead
-    of silently presenting the old snapshot as live.
+    A running campaign whose heartbeat is older than ``stale_after``
+    (seconds; default :data:`STALE_AFTER`, overridable via ``cr-sim
+    campaign watch --stale-after``) renders a STALE banner first --
+    and the alert lines still render after it, clearly marked as
+    last-known, instead of silently presenting the old snapshot as
+    live.  The banner triggers strictly *past* the threshold: an age
+    of exactly ``stale_after`` is still considered fresh.
     ``alerts_only`` drops the progress block (the ``watch --alerts``
     filter).
     """
     lines = []
     age = heartbeat_age(status, now=now)
-    stale = (age is not None and age > STALE_AFTER
+    stale = (age is not None and age > stale_after
              and status.get("state") == "running")
     if stale:
         lines.append(
@@ -375,8 +379,10 @@ def render_workers(status: Dict[str, Any]) -> List[str]:
 
     One line per worker heartbeat the coordinator aggregated: liveness
     (``live``/``stale``/``dead``/``finished``), points done (failed),
-    leases currently held, and reclaims performed.  Pure — reads only
-    the heartbeat dict ``cr-sim campaign watch`` already consumes.
+    leases currently held, and reclaims performed.  Traced fabrics add
+    a second line per worker with its *current* span (what it is doing
+    right now) and its finished-span/log-record tallies.  Pure — reads
+    only the heartbeat dict ``cr-sim campaign watch`` already consumes.
     """
     workers = status.get("workers") or []
     fabric = status.get("fabric") or {}
@@ -401,6 +407,14 @@ def render_workers(status: Dict[str, Any]) -> List[str]:
             + (f"  seen {_fmt_duration(age)} ago" if age is not None
                else "")
         )
+        span = worker.get("span")
+        spans = worker.get("spans") or 0
+        logs = worker.get("logs") or 0
+        if span or spans or logs:
+            lines.append(
+                f"       in span: {span or '(idle)'}"
+                f"   spans {spans}  logs {logs}"
+            )
     return lines
 
 

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, List, Optional, Tuple
 
+from ..obs.trace import Tracer
 from ..sim.parallel import (
     CacheSpec,
     PointFailure,
@@ -138,12 +139,17 @@ class PointReporter:
         stats: CampaignRunStats,
         monitor: Optional[CampaignMonitor] = None,
         progress: Optional[CampaignProgress] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.spec = spec
         self.store = store
         self.stats = stats
         self.monitor = monitor
         self.progress = progress
+        #: with a tracer attached, every journaled point also lands a
+        #: closed ``run`` span (riding the fenced result transaction)
+        #: and a ``journal`` span timing the store write itself.
+        self.tracer = tracer
         self.settled = 0  #: ok + skipped + terminally failed
 
     def skip(self, point: CampaignPoint) -> None:
@@ -154,6 +160,56 @@ class PointReporter:
             self.monitor.on_point(point, "skipped", 0.0)
         self._progress(point, "skipped", 0.0, 0)
 
+    def _trace_payload(
+        self,
+        point: CampaignPoint,
+        elapsed: float,
+        attempt: int,
+        status: str,
+        error: Optional[str],
+        parent: object,
+        extra_spans: Optional[List[dict]],
+    ) -> Tuple[Optional[List[dict]], Optional[object]]:
+        """The span rows riding the fenced write + the open journal span.
+
+        The ``run`` span is synthesised closed at journal time (the
+        simulation already happened; ``start_ts`` backdates by
+        ``elapsed``) so it can ride the result's transaction — a
+        fenced-out write discards it along with ``extra_spans`` (a
+        fabric worker's closed lease span).  The ``journal`` span is
+        returned open: it times the store write itself, so the caller
+        closes and journals it after the write returns.
+        """
+        if self.tracer is None:
+            return None, None
+        now = time.time()
+        attrs: dict = {"attempt": attempt}
+        if error is not None:
+            attrs["error"] = error[:200]
+        run = self.tracer.start_span(
+            f"run {point.point_id}", kind="run", parent=parent,
+            point_id=point.point_id, start_ts=now - elapsed,
+            attrs=attrs,
+        )
+        run = self.tracer.end_span(run, status, end_ts=now)
+        journal = self.tracer.start_span(
+            f"journal {point.point_id}", kind="journal", parent=run,
+            point_id=point.point_id,
+        )
+        payload = [run.to_dict()]
+        payload.extend(dict(span) for span in (extra_spans or []))
+        return payload, journal
+
+    def _close_journal(self, journal: Optional[object],
+                       wrote: bool) -> None:
+        """Close (and, if the result landed, journal) the journal span."""
+        if journal is None or self.tracer is None:
+            return
+        done = self.tracer.end_span(journal,
+                                    "ok" if wrote else "aborted")
+        if wrote:
+            self.store.record_spans(self.spec.name, [done.to_dict()])
+
     def report(
         self,
         point: CampaignPoint,
@@ -162,6 +218,8 @@ class PointReporter:
         attempt: int,
         final: bool = False,
         fence: Optional[Tuple[str, int]] = None,
+        parent: object = None,
+        extra_spans: Optional[List[dict]] = None,
     ) -> str:
         """Journal one landed result; returns the outcome recorded.
 
@@ -172,14 +230,24 @@ class PointReporter:
         reach ``total`` instead of stalling just below it.  Returns
         ``"ok"``, ``"failed"``, or ``"fenced"`` (fenced-out write,
         nothing journaled).
+
+        With a tracer attached, ``parent`` (a span or context — a
+        fabric worker passes the point's lease span) parents the
+        synthesised ``run`` span, and ``extra_spans`` (span dicts)
+        ride the same fenced transaction as the result row.
         """
         if isinstance(result, PointFailure):
             # Journal the failure immediately; a later successful
             # retry overwrites the row (INSERT OR REPLACE).
+            spans, journal = self._trace_payload(
+                point, elapsed, attempt, "error", result.error,
+                parent, extra_spans,
+            )
             wrote = self.store.record_failure(
                 self.spec.name, point, result.error, elapsed,
-                attempts=attempt, fence=fence,
+                attempts=attempt, fence=fence, spans=spans,
             )
+            self._close_journal(journal, wrote)
             if not wrote:
                 return "fenced"
             if final:
@@ -194,10 +262,14 @@ class PointReporter:
 
         report = result if isinstance(result, dict) else None
         projected = _project(result, self.spec.metrics)
+        spans, journal = self._trace_payload(
+            point, elapsed, attempt, "ok", None, parent, extra_spans,
+        )
         wrote = self.store.record_success(
             self.spec.name, point, projected, elapsed,
-            attempts=attempt, fence=fence,
+            attempts=attempt, fence=fence, spans=spans,
         )
+        self._close_journal(journal, wrote)
         if not wrote:
             return "fenced"
         # Interval samples (configs with sample_interval set) land in
@@ -248,6 +320,7 @@ def run_campaign(
     heartbeat: Optional[float] = 1.0,
     heartbeat_path: Optional[str] = None,
     serve: Optional[object] = None,
+    trace: bool = False,
 ) -> CampaignRunStats:
     """Execute (or resume) a campaign; every outcome lands in ``store``.
 
@@ -274,14 +347,41 @@ def run_campaign(
     to it, so ``/metrics``, ``/health``, and ``/status`` stay live
     while points execute.
 
+    ``trace=True`` arms distributed tracing: a root span for the run,
+    a closed ``run`` + ``journal`` span pair per executed point, all
+    journaled into the store's ``spans`` table for ``cr-sim campaign
+    timeline``.  Overhead is budgeted (<3%) and measured by
+    ``benchmarks/bench_trace_overhead.py``.
+
     To shard a campaign across many worker processes or hosts instead,
     see :func:`repro.campaign.fabric.run_fabric` and
     ``cr-sim campaign run --workers-fabric N``.
     """
     # -- submit phase ---------------------------------------------------
+    tracer: Optional[Tracer] = None
+    root = None
+    logger = None
+    if trace:
+        from ..obs.log import StructuredLogger, campaign_log_path
+
+        tracer = Tracer(worker_id="local")
+        root = tracer.start_span(
+            f"campaign {spec.name}", kind="root",
+            attrs={"executor": "local"},
+        )
+        logger = StructuredLogger(
+            campaign_log_path(store.path, spec.name, "local"),
+            worker_id="local", tracer=tracer,
+        )
     points = submit_campaign(spec, store, verify=verify)
     stats = CampaignRunStats(total=len(points))
     done_hashes = store.completed(spec.name)
+    if tracer is not None:
+        # Journal the root open so `campaign timeline` on a live run
+        # shows the in-flight trace; it closes at the end of this call.
+        store.record_spans(spec.name, [root.to_dict()])
+        logger.info("campaign_started", campaign=spec.name,
+                    points=len(points), executor="local")
 
     server = None
     owns_server = False
@@ -301,7 +401,7 @@ def run_campaign(
             )
 
     reporter = PointReporter(spec, store, stats, monitor=monitor,
-                             progress=progress)
+                             progress=progress, tracer=tracer)
 
     # -- lease phase (local: claim everything not already settled) -----
     pending: List[CampaignPoint] = []
@@ -345,6 +445,21 @@ def run_campaign(
 
     if monitor is not None:
         monitor.finalize()
+    if tracer is not None:
+        logger.log("info" if stats.complete else "warning",
+                   "campaign_settled", campaign=spec.name,
+                   ran=stats.ran, skipped=stats.skipped,
+                   failed=stats.failed)
+        closed = tracer.end_span(
+            root, "ok" if stats.complete else "error",
+            attrs={"ran": stats.ran, "skipped": stats.skipped,
+                   "failed": stats.failed},
+        )
+        store.record_spans(spec.name, [closed.to_dict()])
+        # No span left open: force-close stragglers (an interrupt
+        # between a point's open journal span and its close).
+        store.close_open_spans(spec.name)
+        logger.close()
     if server is not None and owns_server:
         server.stop()
     return stats

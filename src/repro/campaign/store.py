@@ -46,7 +46,9 @@ from .spec import CampaignPoint, CampaignSpec
 #: v2: added the timeseries table (interval-sampler metrics per point).
 #: v3: added the alerts table (alert episodes journaled per point).
 #: v4: added the leases + workers tables (distributed campaign fabric).
-STORE_SCHEMA_VERSION = 4
+#: v5: added the spans table (distributed tracing) and the workers
+#:     span/spans/logs columns (current-span + trace/log tallies).
+STORE_SCHEMA_VERSION = 5
 
 #: how long (ms) a writer waits on a locked database before failing;
 #: sized for many worker processes journaling into one WAL file.
@@ -125,9 +127,37 @@ CREATE TABLE IF NOT EXISTS workers (
     failed     INTEGER NOT NULL DEFAULT 0,
     leases     INTEGER NOT NULL DEFAULT 0,
     reclaims   INTEGER NOT NULL DEFAULT 0,
+    span       TEXT NOT NULL DEFAULT '',
+    spans      INTEGER NOT NULL DEFAULT 0,
+    logs       INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (campaign, worker_id)
 );
+CREATE TABLE IF NOT EXISTS spans (
+    campaign       TEXT NOT NULL,
+    span_id        TEXT NOT NULL,
+    trace_id       TEXT NOT NULL,
+    parent_id      TEXT,
+    name           TEXT NOT NULL,
+    kind           TEXT NOT NULL DEFAULT 'span',
+    worker_id      TEXT NOT NULL DEFAULT '',
+    point_id       TEXT,               -- NULL for lifecycle spans
+    start_ts       REAL NOT NULL,      -- wall clock (time.time)
+    end_ts         REAL,               -- NULL while the span is open
+    status         TEXT NOT NULL DEFAULT 'open',
+    attrs          TEXT NOT NULL DEFAULT '{}',
+    schema_version INTEGER NOT NULL,
+    PRIMARY KEY (campaign, span_id)
+);
 """
+
+#: columns added to the ``workers`` table after its v4 debut; opening a
+#: v4 store migrates in place (ALTER TABLE ADD COLUMN is cheap and
+#: backwards-compatible — old readers simply ignore the new columns).
+_WORKER_MIGRATIONS = (
+    ("span", "TEXT NOT NULL DEFAULT ''"),
+    ("spans", "INTEGER NOT NULL DEFAULT 0"),
+    ("logs", "INTEGER NOT NULL DEFAULT 0"),
+)
 
 
 @dataclass(frozen=True)
@@ -180,6 +210,26 @@ class CampaignStore:
         self._conn.execute("PRAGMA journal_mode = WAL")
         self._conn.execute("PRAGMA synchronous = NORMAL")
         self._conn.executescript(_TABLES)
+        self._migrate_workers()
+
+    def _migrate_workers(self) -> None:
+        """Add the v5 worker columns to a pre-v5 ``workers`` table.
+
+        ``CREATE TABLE IF NOT EXISTS`` never alters an existing table,
+        so a store created at v4 lacks the span/spans/logs columns the
+        heartbeat upsert now writes.
+        """
+        have = {
+            row["name"]
+            for row in self._conn.execute(
+                "PRAGMA table_info(workers)"
+            ).fetchall()
+        }
+        for column, decl in _WORKER_MIGRATIONS:
+            if column not in have:
+                self._conn.execute(
+                    f"ALTER TABLE workers ADD COLUMN {column} {decl}"
+                )
 
     @contextlib.contextmanager
     def _txn(self) -> Iterator[sqlite3.Connection]:
@@ -255,7 +305,8 @@ class CampaignStore:
             cursor = self._conn.execute(
                 "DELETE FROM results WHERE campaign = ?", (campaign,)
             )
-            for table in ("leases", "workers", "timeseries", "alerts"):
+            for table in ("leases", "workers", "timeseries", "alerts",
+                          "spans"):
                 self._conn.execute(
                     f"DELETE FROM {table} WHERE campaign = ?", (campaign,)
                 )
@@ -269,7 +320,8 @@ class CampaignStore:
     def _write(self, campaign: str, point: CampaignPoint, status: str,
                report: Optional[Dict[str, object]], error: Optional[str],
                wall_time: float, attempts: int,
-               fence: Optional[Tuple[str, int]] = None) -> bool:
+               fence: Optional[Tuple[str, int]] = None,
+               spans: Optional[List[Dict[str, Any]]] = None) -> bool:
         with self._txn():
             if fence is not None:
                 worker_id, attempt = fence
@@ -310,31 +362,44 @@ class CampaignStore:
                     error, attempts, wall_time, time.time(),
                 ),
             )
+            # Trace spans ride in the same transaction as the result
+            # row: a fenced-out write above discards them with it, so
+            # a zombie worker's run span can never land while its
+            # result is rejected (or vice versa).
+            if spans:
+                self._upsert_spans(campaign, spans)
         return True
 
     def record_success(self, campaign: str, point: CampaignPoint,
                        report: Dict[str, object], wall_time: float,
                        attempts: int = 1,
-                       fence: Optional[Tuple[str, int]] = None) -> bool:
+                       fence: Optional[Tuple[str, int]] = None,
+                       spans: Optional[List[Dict[str, Any]]] = None
+                       ) -> bool:
         """Journal one completed point (durable before the call returns).
 
         ``fence=(worker_id, attempt)`` makes the write conditional on
         that lease still being current (the fabric workers' path): a
         fenced-out write is discarded and the method returns False.
+        ``spans`` (span dicts, see :meth:`record_spans`) land in the
+        same transaction, so they share the fence's fate.
         """
         return self._write(campaign, point, "ok", report, None,
-                           wall_time, attempts, fence=fence)
+                           wall_time, attempts, fence=fence, spans=spans)
 
     def record_failure(self, campaign: str, point: CampaignPoint,
                        error: str, wall_time: float,
                        attempts: int = 1,
-                       fence: Optional[Tuple[str, int]] = None) -> bool:
+                       fence: Optional[Tuple[str, int]] = None,
+                       spans: Optional[List[Dict[str, Any]]] = None
+                       ) -> bool:
         """Journal a point whose simulation kept raising.
 
-        Accepts the same lease ``fence`` as :meth:`record_success`.
+        Accepts the same lease ``fence`` and ``spans`` as
+        :meth:`record_success`.
         """
         return self._write(campaign, point, "failed", None, error,
-                           wall_time, attempts, fence=fence)
+                           wall_time, attempts, fence=fence, spans=spans)
 
     def record_timeseries(self, campaign: str, point: CampaignPoint,
                           rows: List[Dict[str, Any]]) -> int:
@@ -400,6 +465,137 @@ class CampaignStore:
                 ],
             )
         return len(rows)
+
+    # -- spans (distributed tracing) -----------------------------------
+
+    def _upsert_spans(self, campaign: str,
+                      rows: List[Dict[str, Any]]) -> int:
+        """Insert/refresh span rows inside the caller's transaction.
+
+        Closed spans are immutable: an UPDATE only applies while the
+        stored row is still ``open``, so a zombie worker re-journaling
+        a span the coordinator already closed as ``aborted`` cannot
+        flip it back (the span analogue of the result-write fence).
+        """
+        written = 0
+        for row in rows:
+            attrs = json.dumps(row.get("attrs") or {}, sort_keys=True)
+            cursor = self._conn.execute(
+                """
+                UPDATE spans SET parent_id = ?, name = ?, kind = ?,
+                    worker_id = ?, point_id = ?, start_ts = ?,
+                    end_ts = ?, status = ?, attrs = ?
+                WHERE campaign = ? AND span_id = ? AND status = 'open'
+                """,
+                (row.get("parent_id"), row["name"],
+                 row.get("kind", "span"), row.get("worker_id", ""),
+                 row.get("point_id"), row["start_ts"],
+                 row.get("end_ts"), row.get("status", "open"), attrs,
+                 campaign, row["span_id"]),
+            )
+            if cursor.rowcount:
+                written += 1
+                continue
+            cursor = self._conn.execute(
+                """
+                INSERT OR IGNORE INTO spans
+                    (campaign, span_id, trace_id, parent_id, name,
+                     kind, worker_id, point_id, start_ts, end_ts,
+                     status, attrs, schema_version)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (campaign, row["span_id"], row["trace_id"],
+                 row.get("parent_id"), row["name"],
+                 row.get("kind", "span"), row.get("worker_id", ""),
+                 row.get("point_id"), row["start_ts"],
+                 row.get("end_ts"), row.get("status", "open"), attrs,
+                 STORE_SCHEMA_VERSION),
+            )
+            written += cursor.rowcount
+        return written
+
+    def record_spans(self, campaign: str,
+                     rows: List[Dict[str, Any]]) -> int:
+        """Journal trace spans (dicts from ``Span.to_dict()``).
+
+        Upserts by ``(campaign, span_id)``: open spans may be
+        re-journaled (renewals, closure), closed spans are immutable —
+        a late write against a span the coordinator closed ``aborted``
+        is silently dropped.  Returns the rows that landed.
+        """
+        if not rows:
+            return 0
+        with self._txn():
+            return self._upsert_spans(campaign, rows)
+
+    def spans(self, campaign: str, point_id: Optional[str] = None,
+              status: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Stored spans (attrs parsed), trace order (start_ts, span_id)."""
+        query = "SELECT * FROM spans WHERE campaign = ?"
+        params: Tuple[Any, ...] = (campaign,)
+        if point_id is not None:
+            query += " AND point_id = ?"
+            params += (point_id,)
+        if status is not None:
+            query += " AND status = ?"
+            params += (status,)
+        query += " ORDER BY start_ts, span_id"
+        out = []
+        for row in self._conn.execute(query, params).fetchall():
+            entry = dict(row)
+            entry["attrs"] = json.loads(row["attrs"])
+            out.append(entry)
+        return out
+
+    def span_counts(self, campaign: str) -> Dict[str, int]:
+        """``{status: count}`` over a campaign's stored spans — the
+        coordinator's cheap per-poll gauge (no attrs parsing)."""
+        rows = self._conn.execute(
+            "SELECT status, COUNT(*) AS n FROM spans "
+            "WHERE campaign = ? GROUP BY status",
+            (campaign,),
+        ).fetchall()
+        return {row["status"]: row["n"] for row in rows}
+
+    def open_root_span(self, campaign: str) -> Optional[Dict[str, Any]]:
+        """The campaign's open root span, if the coordinator journaled
+        one — the trace-context fallback for hand-started workers whose
+        environment carries no traceparent."""
+        row = self._conn.execute(
+            "SELECT * FROM spans WHERE campaign = ? AND kind = 'root' "
+            "AND status = 'open' ORDER BY start_ts LIMIT 1",
+            (campaign,),
+        ).fetchone()
+        if row is None:
+            return None
+        entry = dict(row)
+        entry["attrs"] = json.loads(row["attrs"])
+        return entry
+
+    def close_open_spans(self, campaign: str, status: str = "aborted",
+                         worker_id: Optional[str] = None,
+                         point_id: Optional[str] = None,
+                         now: Optional[float] = None) -> int:
+        """Force-close open spans (the coordinator's settle-time sweep).
+
+        Scoped by ``worker_id``/``point_id`` when given; returns rows
+        closed.  Used for orphans a reclaim superseded and for the
+        final "no span left open" guarantee at campaign settle.
+        """
+        if now is None:
+            now = time.time()
+        query = ("UPDATE spans SET status = ?, end_ts = ? "
+                 "WHERE campaign = ? AND status = 'open'")
+        params: Tuple[Any, ...] = (status, now, campaign)
+        if worker_id is not None:
+            query += " AND worker_id = ?"
+            params += (worker_id,)
+        if point_id is not None:
+            query += " AND point_id = ?"
+            params += (point_id,)
+        with self._txn():
+            cursor = self._conn.execute(query, params)
+        return cursor.rowcount
 
     # -- leases (distributed campaign fabric) --------------------------
 
@@ -477,6 +673,20 @@ class CampaignStore:
                     " attempt) VALUES (?, ?, ?, ?, ?)",
                     (campaign, point_id, worker_id, expiry, attempt),
                 )
+                if reclaimed:
+                    # The dead owner's lease/run spans for this point
+                    # are orphans now: close them 'aborted' in the same
+                    # transaction that transfers the lease, so the
+                    # merged timeline never shows an unterminated span
+                    # for a SIGKILLed worker (and the closed-spans-
+                    # immutable rule keeps the zombie from reopening
+                    # them).
+                    self._conn.execute(
+                        "UPDATE spans SET status = 'aborted', "
+                        "end_ts = ? WHERE campaign = ? AND point_id = ?"
+                        " AND worker_id = ? AND status = 'open'",
+                        (now, campaign, point_id, lease["worker_id"]),
+                    )
                 granted.append(Lease(point_id, worker_id, attempt,
                                      expiry, reclaimed))
         return granted
@@ -545,9 +755,17 @@ class CampaignStore:
         failed: int = 0,
         leases: int = 0,
         reclaims: int = 0,
+        span: str = "",
+        spans: int = 0,
+        logs: int = 0,
         now: Optional[float] = None,
     ) -> None:
-        """Upsert one worker's liveness row (the fabric heartbeat)."""
+        """Upsert one worker's liveness row (the fabric heartbeat).
+
+        ``span`` is the worker's *current* span (``"name span_id"``,
+        shown in the watch pane); ``spans``/``logs`` are its finished-
+        span and emitted-log-record tallies.
+        """
         if now is None:
             now = time.time()
         with self._txn():
@@ -555,16 +773,19 @@ class CampaignStore:
                 """
                 INSERT INTO workers (campaign, worker_id, pid, host,
                                      state, started_at, last_seen,
-                                     done, failed, leases, reclaims)
-                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                                     done, failed, leases, reclaims,
+                                     span, spans, logs)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 ON CONFLICT(campaign, worker_id) DO UPDATE SET
                     pid = excluded.pid, host = excluded.host,
                     state = excluded.state, last_seen = excluded.last_seen,
                     done = excluded.done, failed = excluded.failed,
-                    leases = excluded.leases, reclaims = excluded.reclaims
+                    leases = excluded.leases, reclaims = excluded.reclaims,
+                    span = excluded.span, spans = excluded.spans,
+                    logs = excluded.logs
                 """,
                 (campaign, worker_id, pid, host, state, now, now,
-                 done, failed, leases, reclaims),
+                 done, failed, leases, reclaims, span, spans, logs),
             )
 
     def workers(self, campaign: str) -> List[Dict[str, Any]]:

@@ -319,6 +319,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm the invariant checker on every campaign point "
              "(changes point hashes: unverified points re-run)",
     )
+    crun_p.add_argument(
+        "--trace", action="store_true",
+        help="arm distributed tracing + structured logging: spans "
+             "journal into the store for `campaign timeline`, logs "
+             "for `campaign logs` (see docs/OBSERVABILITY.md)",
+    )
     add_serve(crun_p)
 
     cworker_p = camp_sub.add_parser(
@@ -358,6 +364,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="arm the invariant checker on every point (must match "
              "the coordinator's --verify)",
     )
+    cworker_p.add_argument(
+        "--trace", action="store_true",
+        help="arm tracing + structured logging (auto-armed when the "
+             "coordinator spawned this worker with CR_TRACE=1; the "
+             "worker joins the coordinator's trace via CR_TRACEPARENT "
+             "or the store's open root span)",
+    )
 
     cstat_p = camp_sub.add_parser(
         "status", help="stored campaigns, or one campaign in detail"
@@ -393,6 +406,57 @@ def _build_parser() -> argparse.ArgumentParser:
         "--alerts", action="store_true",
         help="show only the alerts pane (firing alerts render even "
              "from a stale heartbeat, marked as last-known)",
+    )
+    cwatch_p.add_argument(
+        "--stale-after", type=float, default=None, metavar="SECONDS",
+        help="heartbeat age past which the STALE banner shows "
+             "(default: 15; raise for slow points or remote "
+             "filesystems)",
+    )
+
+    ctl_p = camp_sub.add_parser(
+        "timeline",
+        help="merge a traced campaign's spans (all workers + the "
+             "coordinator) into one Perfetto timeline",
+    )
+    ctl_p.add_argument("name", help="campaign name in the store")
+    add_db(ctl_p)
+    ctl_p.add_argument(
+        "--perfetto", nargs="?", const="", default=None, metavar="PATH",
+        help="write the merged Chrome-trace/Perfetto JSON (default "
+             "path: <db dir>/<name>.timeline.perfetto.json); without "
+             "this flag only the span summary prints",
+    )
+
+    clog_p = camp_sub.add_parser(
+        "logs",
+        help="merged structured logs of a traced campaign "
+             "(coordinator + every worker, by timestamp)",
+    )
+    clog_p.add_argument("name", help="campaign name in the store")
+    add_db(clog_p)
+    clog_p.add_argument(
+        "--worker", default=None, metavar="ID",
+        help="only records from this worker (e.g. worker-1, "
+             "coordinator)",
+    )
+    clog_p.add_argument(
+        "--level", default=None, choices=["debug", "info", "warning",
+                                          "error"],
+        help="minimum severity to show",
+    )
+    clog_p.add_argument(
+        "--trace", default=None, metavar="TRACE_ID",
+        help="only records from this trace (full id or >=4-char "
+             "hex prefix)",
+    )
+    clog_p.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="only the last N matching records",
+    )
+    clog_p.add_argument(
+        "--json", action="store_true",
+        help="print raw JSONL records instead of formatted lines",
     )
 
     crep_p = camp_sub.add_parser(
@@ -936,6 +1000,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 progress=report,
                 verify=args.verify,
                 serve=server,
+                trace=args.trace,
             )
     finally:
         if server is not None:
@@ -997,6 +1062,7 @@ def _campaign_run_fabric(args: argparse.Namespace, spec,
             verify=args.verify,
             serve=server,
             on_poll=narrate,
+            trace=args.trace,
         )
     finally:
         if server is not None:
@@ -1038,6 +1104,7 @@ def _cmd_campaign_worker(args: argparse.Namespace) -> int:
         max_attempts=(args.max_attempts if args.max_attempts is not None
                       else DEFAULT_MAX_ATTEMPTS),
         verify=args.verify,
+        trace=True if args.trace else None,
     )
     try:
         stats = worker.run()
@@ -1153,7 +1220,10 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
         if not os.path.exists(path):
             return None
         status = read_status(path)
-        print(render_status(status, alerts_only=args.alerts))
+        stale_kw = {}
+        if args.stale_after is not None:
+            stale_kw["stale_after"] = args.stale_after
+        print(render_status(status, alerts_only=args.alerts, **stale_kw))
         if args.svg:
             with open(args.svg, "w", encoding="utf-8") as handle:
                 handle.write(status_svg(status))
@@ -1193,6 +1263,89 @@ def _cmd_campaign_watch(args: argparse.Namespace) -> int:
         return 0
 
 
+def _cmd_campaign_timeline(args: argparse.Namespace) -> int:
+    from .campaign import CampaignStore
+    from .campaign.timeline import (
+        timeline_summary,
+        write_campaign_timeline,
+    )
+
+    with CampaignStore(args.db) as store:
+        summary = timeline_summary(store, args.name)
+        if summary["spans"] == 0:
+            print(
+                f"cr-sim campaign timeline: campaign {args.name!r} in "
+                f"{args.db} has no journaled spans; run it with "
+                f"--trace",
+                file=sys.stderr,
+            )
+            return 2
+        kinds = ", ".join(
+            f"{kind} {count}"
+            for kind, count in sorted(summary["by_kind"].items())
+        )
+        print(
+            f"campaign {args.name!r}: {summary['spans']} span(s) "
+            f"across {len(summary['workers'])} process(es), "
+            f"{len(summary['traces'])} trace(s), "
+            f"{summary['open']} still open"
+        )
+        print(f"  by kind: {kinds}")
+        if args.perfetto is not None:
+            try:
+                path = write_campaign_timeline(
+                    store, args.name, args.perfetto or None
+                )
+            except ValueError as exc:
+                print(f"cr-sim campaign timeline: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"wrote merged Perfetto timeline to {path}")
+            print("  open it at https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_campaign_logs(args: argparse.Namespace) -> int:
+    import json as json_mod
+    import os
+
+    from .obs.log import (
+        campaign_log_dir,
+        filter_log_records,
+        format_log_record,
+        read_campaign_logs,
+    )
+
+    log_dir = campaign_log_dir(args.db, args.name)
+    if log_dir is None:
+        print(
+            "cr-sim campaign logs: in-memory stores have no log "
+            "directory",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.isdir(log_dir):
+        print(
+            f"cr-sim campaign logs: no log directory at {log_dir} "
+            f"(run the campaign with --trace)",
+            file=sys.stderr,
+        )
+        return 2
+    records = read_campaign_logs(log_dir)
+    records = filter_log_records(
+        records, worker=args.worker, level=args.level, trace=args.trace
+    )
+    if args.tail is not None and args.tail >= 0:
+        records = records[-args.tail:] if args.tail else []
+    for record in records:
+        if args.json:
+            print(json_mod.dumps(record, sort_keys=True))
+        else:
+            print(format_log_record(record))
+    print(f"{len(records)} record(s) from {log_dir}", file=sys.stderr)
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "run":
         return _cmd_campaign_run(args)
@@ -1206,6 +1359,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return _cmd_campaign_list(args)
     if args.campaign_command == "watch":
         return _cmd_campaign_watch(args)
+    if args.campaign_command == "timeline":
+        return _cmd_campaign_timeline(args)
+    if args.campaign_command == "logs":
+        return _cmd_campaign_logs(args)
     raise AssertionError(
         f"unhandled campaign command {args.campaign_command}"
     )

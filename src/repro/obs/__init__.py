@@ -45,6 +45,15 @@ from .events import (
     event_to_dict,
 )
 from .forensics import DeadlockReport, build_deadlock_report
+from .log import (
+    LOG_LEVELS,
+    StructuredLogger,
+    campaign_log_dir,
+    campaign_log_path,
+    filter_log_records,
+    format_log_record,
+    read_campaign_logs,
+)
 from .health import (
     dead_channel_fraction,
     health_components,
@@ -75,9 +84,20 @@ from .sinks import (
     EventSink,
     JsonlSink,
     ListSink,
+    ReadResult,
     RingBufferSink,
     filter_events,
     read_jsonl,
+)
+from .trace import (
+    TRACEPARENT_ENV,
+    Span,
+    SpanContext,
+    Tracer,
+    context_from_environ,
+    format_traceparent,
+    parse_traceparent,
+    traceparent_environ,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -128,7 +148,9 @@ __all__ = [
     "BUILTIN_RULE_NAMES",
     "DEFAULT_TRACE_DIR",
     "EVENT_TYPES",
+    "LOG_LEVELS",
     "PHASES",
+    "TRACEPARENT_ENV",
     "AlertEngine",
     "AlertEvent",
     "AlertRule",
@@ -151,23 +173,34 @@ __all__ = [
     "MessageCreated",
     "MessageDelivered",
     "MetricsRegistry",
+    "ReadResult",
     "Retransmit",
     "RingBufferSink",
+    "Span",
+    "SpanContext",
+    "StructuredLogger",
     "TelemetryServer",
     "TracedRun",
+    "Tracer",
     "attach",
     "attach_profiler",
     "build_deadlock_report",
     "builtin_rules",
+    "campaign_log_dir",
+    "campaign_log_path",
     "chrome_trace",
     "chrome_trace_events",
     "config_for_experiment",
+    "context_from_environ",
     "dead_channel_fraction",
     "detach",
     "detach_profiler",
     "engine_metrics",
     "event_to_dict",
     "filter_events",
+    "filter_log_records",
+    "format_log_record",
+    "format_traceparent",
     "health_components",
     "health_report",
     "health_score",
@@ -176,9 +209,12 @@ __all__ = [
     "make_telemetry_server",
     "parse_prometheus_text",
     "parse_serve",
+    "parse_traceparent",
+    "read_campaign_logs",
     "read_jsonl",
     "rules_to_json",
     "run_traced",
     "trace_experiments",
+    "traceparent_environ",
     "write_chrome_trace",
 ]

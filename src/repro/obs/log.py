@@ -1,0 +1,231 @@
+"""Structured JSONL logging with trace correlation.
+
+The campaign fabric used to operate silently: a coordinator classified
+workers live/stale/dead, workers leased, reclaimed and journaled — and
+none of it left a record beyond the final counters.  This module is
+the record: one JSON object per line, each carrying a level, a
+wall-clock timestamp, the emitting worker's identity, the current
+trace/span ids (when a :class:`~repro.obs.trace.Tracer` is attached),
+a short ``event`` name, and free-form structured fields::
+
+    {"ts": 1754560000.12, "level": "info", "worker_id": "worker-1",
+     "trace_id": "4a...", "span_id": "9f...", "event": "batch_leased",
+     "points": 2, "reclaimed": 1}
+
+Each fabric process writes its own file under ``<db
+dir>/<campaign>.logs/`` (one writer per file — no cross-process
+interleaving), durably (``fsync_every=1``) so a SIGKILLed worker's
+last words survive.  ``cr-sim campaign logs <name>`` merges the files
+by timestamp and filters by worker, level, or trace id.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from .sinks import JsonlSink, read_jsonl
+
+#: recognised levels, least to most severe.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LOG_LEVELS)}
+
+
+def level_rank(level: str) -> int:
+    """The severity rank of ``level`` (unknown levels rank as debug)."""
+    return _LEVEL_RANK.get(level, 0)
+
+
+class StructuredLogger:
+    """Leveled JSONL logger, one writer per process.
+
+    ``path=None`` keeps records in memory only (``.records``) — handy
+    for tests and for processes that only publish counters.  With a
+    path, records stream through a durable :class:`JsonlSink`
+    (``fsync_every`` defaults to 1: each record survives SIGKILL).
+
+    ``tracer`` stamps every record with the current span's
+    ``trace_id``/``span_id`` so logs and the span timeline correlate;
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets
+    ``cr_log_records_total{level=...}`` counters.  Records below
+    ``level`` are dropped at the call site.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        worker_id: str = "",
+        level: str = "info",
+        tracer: Optional[Any] = None,
+        registry: Optional[Any] = None,
+        fsync_every: int = 1,
+        keep: bool = False,
+        clock=time.time,
+    ) -> None:
+        if level not in _LEVEL_RANK:
+            raise ValueError(
+                f"unknown log level {level!r}; choose from {LOG_LEVELS}"
+            )
+        self.path = path
+        self.worker_id = worker_id
+        self.threshold = _LEVEL_RANK[level]
+        self.tracer = tracer
+        self._clock = clock
+        self._sink = (JsonlSink(path, fsync_every=fsync_every)
+                      if path is not None else None)
+        #: in-memory copy of emitted records (always on when pathless).
+        self.records: List[Dict[str, Any]] = []
+        self._keep = keep or path is None
+        self.written = 0
+        self._counters = None
+        if registry is not None:
+            self._counters = {
+                name: registry.counter(
+                    "log_records_total",
+                    "Structured log records emitted, by level.",
+                    labels={"level": name},
+                )
+                for name in LOG_LEVELS
+            }
+
+    # -- emission -------------------------------------------------------
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        if _LEVEL_RANK.get(level, 0) < self.threshold:
+            return
+        record: Dict[str, Any] = {
+            "ts": self._clock(),
+            "level": level,
+            "worker_id": self.worker_id,
+            "trace_id": None,
+            "span_id": None,
+            "event": event,
+        }
+        if self.tracer is not None:
+            span = self.tracer.current()
+            if span is not None:
+                record["trace_id"] = span.trace_id
+                record["span_id"] = span.span_id
+            else:
+                record["trace_id"] = self.tracer.trace_id()
+        record.update(fields)
+        self.written += 1
+        if self._counters is not None:
+            counter = self._counters.get(level)
+            if counter is not None:
+                counter.inc()
+        if self._sink is not None:
+            self._sink.write(record)
+        if self._keep:
+            self.records.append(record)
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+
+    def __enter__(self) -> "StructuredLogger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Reading the merged fabric log back
+# ----------------------------------------------------------------------
+
+def campaign_log_dir(store_path: str, campaign: str) -> Optional[str]:
+    """Where a campaign's per-process log files live, given the DB path.
+
+    Mirrors :func:`repro.campaign.monitor.status_path`: None for
+    in-memory stores (no directory to anchor to).
+    """
+    if store_path == ":memory:":
+        return None
+    parent = os.path.dirname(str(store_path)) or "."
+    return os.path.join(parent, f"{campaign}.logs")
+
+
+def campaign_log_path(store_path: str, campaign: str,
+                      worker_id: str) -> Optional[str]:
+    """One process's log file inside :func:`campaign_log_dir`."""
+    directory = campaign_log_dir(store_path, campaign)
+    if directory is None:
+        return None
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "_"
+                   for c in worker_id) or "unnamed"
+    return os.path.join(directory, f"{safe}.jsonl")
+
+
+def read_campaign_logs(directory: str) -> List[Dict[str, Any]]:
+    """Every record from every ``*.jsonl`` in ``directory``, merged by
+    timestamp (stable across files for equal stamps)."""
+    records: List[Dict[str, Any]] = []
+    for path in sorted(glob.glob(os.path.join(directory, "*.jsonl"))):
+        records.extend(read_jsonl(path))
+    records.sort(key=lambda r: r.get("ts", 0.0))
+    return records
+
+
+def filter_log_records(
+    records: Iterable[Dict[str, Any]],
+    worker: Optional[str] = None,
+    level: Optional[str] = None,
+    trace: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """The records matching every given filter.
+
+    ``level`` is a minimum severity (``warning`` keeps warnings and
+    errors); ``trace`` matches ``trace_id`` exactly or by unambiguous
+    hex prefix (at least 4 chars).
+    """
+    floor = _LEVEL_RANK.get(level, 0) if level is not None else 0
+    out = []
+    for record in records:
+        if worker is not None and record.get("worker_id") != worker:
+            continue
+        if level_rank(record.get("level", "debug")) < floor:
+            continue
+        if trace is not None:
+            trace_id = record.get("trace_id") or ""
+            if len(trace) >= 4:
+                if not trace_id.startswith(trace):
+                    continue
+            elif trace_id != trace:
+                continue
+        out.append(record)
+    return out
+
+
+def format_log_record(record: Dict[str, Any]) -> str:
+    """One record as a terminal line (timestamp, level, worker, rest)."""
+    ts = record.get("ts")
+    stamp = (time.strftime("%H:%M:%S", time.localtime(ts))
+             + f".{int((ts % 1) * 1000):03d}") if ts is not None else "?"
+    level = record.get("level", "?")
+    worker = record.get("worker_id", "?") or "-"
+    event = record.get("event", "?")
+    span = record.get("span_id")
+    skip = {"ts", "level", "worker_id", "event", "trace_id", "span_id"}
+    body = " ".join(
+        f"{key}={value}" for key, value in record.items()
+        if key not in skip
+    )
+    tail = f" [span {span[:8]}]" if span else ""
+    return (f"{stamp} {level.upper():7s} {worker:14s} {event}"
+            + (f" {body}" if body else "") + tail)

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import warnings
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from .events import Event, event_to_dict
 
@@ -82,20 +83,36 @@ class JsonlSink(EventSink):
 
     Usable as a context manager; parent directories are created.  The
     companion :func:`read_jsonl` parses a trace back into dicts.
+
+    ``fsync_every=N`` makes every Nth record durable (flush +
+    ``os.fsync``) before the write returns, so a SIGKILLed writer — a
+    fabric worker dying mid-campaign — loses at most the last N-1
+    records instead of everything since the interpreter last drained
+    its buffers.  ``fsync_every=1`` is the write-ahead-log setting the
+    fabric's structured logs use; 0 (the default) keeps the old
+    buffered behaviour for hot traced runs.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, fsync_every: int = 0) -> None:
         self.path = str(path)
+        self.fsync_every = max(0, int(fsync_every))
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
         self._handle = open(self.path, "w", encoding="utf-8")
         self.written = 0
 
-    def on_event(self, event: Event) -> None:
-        self._handle.write(json.dumps(event_to_dict(event)))
+    def write(self, record: Dict[str, Any]) -> None:
+        """Append one already-flat JSON-safe dict as a line."""
+        self._handle.write(json.dumps(record))
         self._handle.write("\n")
         self.written += 1
+        if self.fsync_every and self.written % self.fsync_every == 0:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def on_event(self, event: Event) -> None:
+        self.write(event_to_dict(event))
 
     def flush(self) -> None:
         if not self._handle.closed:
@@ -112,23 +129,45 @@ class JsonlSink(EventSink):
         self.close()
 
 
-#: trailing partial lines tolerated by :func:`read_jsonl` since import
-#: (a killed traced run truncates its last record mid-write).
+#: trailing partial lines tolerated by :func:`read_jsonl` since import.
+#:
+#: .. deprecated:: 1.7
+#:    A module-level tally is inherently racy under concurrent readers
+#:    (two threads reading truncated traces interleave their ``+= 1``
+#:    read-modify-writes).  It is still maintained — under a lock, so
+#:    the *total* stays exact — but per-call code should use the
+#:    :attr:`ReadResult.truncated` attribute on the returned list.
 truncated_line_count = 0
 
+_truncated_lock = threading.Lock()
 
-def read_jsonl(path: str) -> List[dict]:
+
+class ReadResult(List[dict]):
+    """The records :func:`read_jsonl` parsed, plus per-call metadata.
+
+    A plain ``list`` subclass, so every existing caller keeps working;
+    ``truncated`` carries how many crash-truncated trailing lines this
+    particular call dropped (0 or 1), without racing other threads the
+    way the deprecated module-global tally does.
+    """
+
+    truncated: int = 0
+
+
+def read_jsonl(path: str) -> ReadResult:
     """Parse a JSONL trace file back into event dicts.
 
     Raises ``ValueError`` (from ``json``) on a malformed line -- the CI
     smoke job uses this as the "artifact parses" assertion -- with one
     exception: a malformed *final* line with no trailing newline is a
     crash-truncated record (the writer died mid-line), so it is dropped
-    with a warning and counted in :data:`truncated_line_count` instead
-    of failing the whole trace.
+    with a warning and reported on the returned
+    :class:`ReadResult`'s ``truncated`` attribute (the deprecated
+    module-global :data:`truncated_line_count` still accumulates the
+    process-wide total) instead of failing the whole trace.
     """
     global truncated_line_count
-    out = []
+    out = ReadResult()
     with open(path, "r", encoding="utf-8") as handle:
         raw_lines = handle.readlines()
     for index, raw in enumerate(raw_lines):
@@ -140,7 +179,9 @@ def read_jsonl(path: str) -> List[dict]:
         except ValueError:
             last = index == len(raw_lines) - 1
             if last and not raw.endswith("\n"):
-                truncated_line_count += 1
+                out.truncated += 1
+                with _truncated_lock:
+                    truncated_line_count += 1
                 warnings.warn(
                     f"dropping truncated final JSONL line in {path!r} "
                     f"({len(raw)} bytes; writer likely killed mid-record)",

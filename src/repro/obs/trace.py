@@ -1,0 +1,397 @@
+"""Span-based distributed tracing for multi-process campaign runs.
+
+The engine's Chrome-trace exporter (:mod:`repro.obs.perfetto`) tells
+the causal story *inside* one simulation.  Since the distributed
+campaign fabric turned campaigns into multi-process runs, the story
+*around* the simulations — which worker leased which point, when a
+dead worker's lease was reclaimed, how long the journal write took —
+spans process boundaries, and no single process observes all of it.
+
+This module provides the classic remedy: a frozen-dataclass
+:class:`Span` carrying ``trace_id``/``span_id``/``parent_id``, a
+:class:`Tracer` that opens and closes spans against a wall-clock
+timebase and fans them out to sinks, and W3C-``traceparent``-style
+context propagation (:func:`format_traceparent` /
+:func:`parse_traceparent`, carried into worker subprocesses via the
+``CR_TRACEPARENT`` environment variable).  The fabric journals spans
+into the campaign store's ``spans`` table, and ``cr-sim campaign
+timeline`` merges every process's spans into one Perfetto file.
+
+Span taxonomy (see docs/OBSERVABILITY.md):
+
+========  =============================================================
+kind      meaning
+========  =============================================================
+root      one per campaign run; every other span joins its trace
+submit    the coordinator registering + expanding the grid
+worker    one fabric worker process's whole session
+lease     one granted lease on one point (open while held)
+run       one simulation attempt for one point (child of its lease)
+journal   the store write that landed the point's result
+renew     one heartbeat renewal of a worker's held leases
+========  =============================================================
+
+Statuses: ``open`` (still running), ``ok``, ``error``, and ``aborted``
+(the owner died; the lease reclaim closed the orphan).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import secrets
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Union
+
+#: environment variable carrying the W3C-style traceparent into
+#: spawned fabric worker processes.
+TRACEPARENT_ENV = "CR_TRACEPARENT"
+
+#: environment variable arming tracing+logging in spawned workers.
+TRACE_ARM_ENV = "CR_TRACE"
+
+#: the statuses a finished span may carry (``open`` means unfinished).
+SPAN_STATUSES = ("open", "ok", "error", "aborted")
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})"
+    r"-(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id as 32 lowercase hex chars."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id as 16 lowercase hex chars."""
+    return secrets.token_hex(8)
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: which trace, which parent."""
+
+    trace_id: str
+    span_id: str
+
+    def traceparent(self) -> str:
+        """This context in W3C ``traceparent`` header syntax."""
+        return format_traceparent(self)
+
+
+def format_traceparent(context: "SpanContext") -> str:
+    """``00-<trace_id>-<span_id>-01`` — the W3C traceparent encoding."""
+    return f"00-{context.trace_id}-{context.span_id}-01"
+
+
+def parse_traceparent(value: str) -> SpanContext:
+    """Parse a W3C-style traceparent back into a :class:`SpanContext`.
+
+    Raises ``ValueError`` on malformed input (wrong field widths,
+    non-hex digits, or the all-zero invalid ids the spec forbids).
+    """
+    match = _TRACEPARENT_RE.match(value.strip().lower())
+    if match is None:
+        raise ValueError(f"malformed traceparent {value!r}")
+    trace_id = match.group("trace_id")
+    span_id = match.group("span_id")
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        raise ValueError(f"all-zero ids in traceparent {value!r}")
+    return SpanContext(trace_id=trace_id, span_id=span_id)
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed operation in a distributed trace (immutable record).
+
+    A span is *open* while ``end_ts`` is None (status ``open``); ending
+    it produces a new frozen instance via :func:`dataclasses.replace`.
+    ``attrs`` is free-form JSON-safe metadata (point ids, batch sizes,
+    outcome details); ``point_id`` is hoisted out of it because the
+    store indexes spans by point for the orphan-closure path.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    kind: str = "span"
+    worker_id: str = ""
+    point_id: Optional[str] = None
+    start_ts: float = 0.0
+    end_ts: Optional[float] = None
+    status: str = "open"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        return self.end_ts is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Wall seconds from start to end, or None while open."""
+        if self.end_ts is None:
+            return None
+        return max(0.0, self.end_ts - self.start_ts)
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready flat dict (the store/JSONL wire format)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "worker_id": self.worker_id,
+            "point_id": self.point_id,
+            "start_ts": self.start_ts,
+            "end_ts": self.end_ts,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        return cls(
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            name=data["name"],
+            kind=data.get("kind", "span"),
+            worker_id=data.get("worker_id", ""),
+            point_id=data.get("point_id"),
+            start_ts=float(data.get("start_ts", 0.0)),
+            end_ts=data.get("end_ts"),
+            status=data.get("status", "open"),
+            attrs=dict(data.get("attrs") or {}),
+        )
+
+
+SpanSink = Callable[[Span], None]
+ParentLike = Union[Span, SpanContext, None]
+
+
+class Tracer:
+    """Opens and closes spans against wall-clock time; fans out to sinks.
+
+    One tracer per process.  ``root`` ties the tracer into an existing
+    trace (the coordinator's, propagated via ``CR_TRACEPARENT``);
+    without one, :meth:`start_span` on the first span starts a fresh
+    trace.  Sinks are callables receiving every span twice — once open
+    (so an observer can see in-flight work, and the store can journal
+    reclaimable lease spans) and once closed.  Sinks that only care
+    about finished spans skip ``span.open`` records.
+
+    ``registry`` (a :class:`repro.obs.metrics.MetricsRegistry`) gets a
+    ``cr_trace_spans_total`` counter incremented per span *finished*.
+    Thread-safe: the heartbeat thread closes renew spans while the
+    main loop runs points.
+    """
+
+    def __init__(
+        self,
+        worker_id: str = "",
+        root: ParentLike = None,
+        sinks: Optional[List[SpanSink]] = None,
+        registry: Optional[Any] = None,
+        clock: Callable[[], float] = time.time,
+        id_source: Optional[Callable[[], str]] = None,
+    ) -> None:
+        self.worker_id = worker_id
+        self.root = _context_of(root)
+        self.sinks: List[SpanSink] = list(sinks or [])
+        self._clock = clock
+        self._ids = id_source or new_span_id
+        self._lock = threading.Lock()
+        self._stack: List[Span] = []
+        self.started = 0
+        self.finished = 0
+        self._counter = None
+        if registry is not None:
+            self._counter = registry.counter(
+                "trace_spans_total",
+                "Trace spans finished by this process.",
+            )
+
+    # -- span lifecycle -------------------------------------------------
+
+    def start_span(
+        self,
+        name: str,
+        kind: str = "span",
+        parent: ParentLike = None,
+        point_id: Optional[str] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+        start_ts: Optional[float] = None,
+    ) -> Span:
+        """Open a span and emit it to the sinks; returns the open span.
+
+        ``parent`` defaults to the innermost span this tracer currently
+        has open, else the tracer's root context, else None — in which
+        case the span starts a brand-new trace.
+        """
+        context = _context_of(parent)
+        if context is None:
+            with self._lock:
+                if self._stack:
+                    context = self._stack[-1].context()
+            if context is None:
+                context = self.root
+        if context is None:
+            trace_id, parent_id = new_trace_id(), None
+        else:
+            trace_id, parent_id = context.trace_id, context.span_id
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._ids(),
+            parent_id=parent_id,
+            name=name,
+            kind=kind,
+            worker_id=self.worker_id,
+            point_id=point_id,
+            start_ts=self._clock() if start_ts is None else start_ts,
+            attrs=dict(attrs or {}),
+        )
+        with self._lock:
+            self._stack.append(span)
+            self.started += 1
+        self._emit(span)
+        return span
+
+    def end_span(
+        self,
+        span: Span,
+        status: str = "ok",
+        attrs: Optional[Dict[str, Any]] = None,
+        end_ts: Optional[float] = None,
+    ) -> Span:
+        """Close ``span``; emits and returns the finished record."""
+        if status not in SPAN_STATUSES or status == "open":
+            raise ValueError(f"invalid finished-span status {status!r}")
+        merged = dict(span.attrs)
+        if attrs:
+            merged.update(attrs)
+        done = replace(
+            span,
+            end_ts=self._clock() if end_ts is None else end_ts,
+            status=status,
+            attrs=merged,
+        )
+        with self._lock:
+            self._stack = [s for s in self._stack
+                           if s.span_id != span.span_id]
+            self.finished += 1
+        if self._counter is not None:
+            self._counter.inc()
+        self._emit(done)
+        return done
+
+    def span(self, name: str, **kwargs: Any) -> "_SpanScope":
+        """``with tracer.span("submit") as s:`` — closes ok, or error
+        (with the exception repr attached) when the body raises."""
+        return _SpanScope(self, name, kwargs)
+
+    def current(self) -> Optional[Span]:
+        """The innermost span still open on this tracer, if any."""
+        with self._lock:
+            return self._stack[-1] if self._stack else None
+
+    # -- plumbing -------------------------------------------------------
+
+    def add_sink(self, sink: SpanSink) -> None:
+        self.sinks.append(sink)
+
+    def trace_id(self) -> Optional[str]:
+        """The trace this tracer joins (root's, else first span's)."""
+        if self.root is not None:
+            return self.root.trace_id
+        with self._lock:
+            return self._stack[0].trace_id if self._stack else None
+
+    def _emit(self, span: Span) -> None:
+        for sink in self.sinks:
+            sink(span)
+
+
+class _SpanScope:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    def __init__(self, tracer: Tracer, name: str,
+                 kwargs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._kwargs = kwargs
+        self.span: Optional[Span] = None
+        self.finished: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self.span = self._tracer.start_span(self._name, **self._kwargs)
+        return self.span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        assert self.span is not None
+        if exc_type is None:
+            self.finished = self._tracer.end_span(self.span, "ok")
+        else:
+            self.finished = self._tracer.end_span(
+                self.span, "error", attrs={"error": repr(exc)}
+            )
+
+
+def _context_of(parent: ParentLike) -> Optional[SpanContext]:
+    if parent is None:
+        return None
+    if isinstance(parent, Span):
+        return parent.context()
+    return parent
+
+
+# ----------------------------------------------------------------------
+# Environment propagation (fabric subprocess boundary)
+# ----------------------------------------------------------------------
+
+def traceparent_environ(
+    context: Optional[SpanContext],
+    armed: bool = True,
+    env: Optional[Dict[str, str]] = None,
+) -> Dict[str, str]:
+    """Extend ``env`` (default: a copy of ``os.environ``) with the
+    tracing variables a spawned fabric worker reads on startup."""
+    out = dict(os.environ) if env is None else env
+    if context is not None:
+        out[TRACEPARENT_ENV] = format_traceparent(context)
+    if armed:
+        out[TRACE_ARM_ENV] = "1"
+    return out
+
+
+def context_from_environ(
+    env: Optional[Dict[str, str]] = None,
+) -> Optional[SpanContext]:
+    """The propagated parent context, or None when unset/malformed.
+
+    Malformed values are ignored rather than fatal: a worker with a
+    garbled traceparent still runs its points — it just starts its own
+    trace, and the timeline shows the discontinuity.
+    """
+    source = os.environ if env is None else env
+    raw = source.get(TRACEPARENT_ENV)
+    if not raw:
+        return None
+    try:
+        return parse_traceparent(raw)
+    except ValueError:
+        return None
+
+
+def tracing_armed(env: Optional[Dict[str, str]] = None) -> bool:
+    """True when ``CR_TRACE`` arms tracing+logging in this process."""
+    source = os.environ if env is None else env
+    return source.get(TRACE_ARM_ENV, "") not in ("", "0")

@@ -304,6 +304,30 @@ class TestWatchRendering:
             state="finished", updated_at=now - 500.0)
         assert "STALE" not in render_status(finished, now=now)
 
+    def test_stale_threshold_is_strictly_past(self):
+        # The banner triggers strictly *past* the threshold: an age of
+        # exactly stale_after is still fresh, one tick later is stale.
+        now = 1000.0
+        at_threshold = self.status_with_alerts(
+            updated_at=now - STALE_AFTER)
+        assert "STALE" not in render_status(at_threshold, now=now)
+        just_past = self.status_with_alerts(
+            updated_at=now - STALE_AFTER - 1e-3)
+        assert "STALE" in render_status(just_past, now=now)
+
+    def test_stale_threshold_is_configurable(self):
+        # `campaign watch --stale-after` tightens or relaxes the
+        # banner; the same edge semantics hold at the custom value.
+        now = 1000.0
+        status = self.status_with_alerts(updated_at=now - 5.0)
+        assert "STALE" not in render_status(status, now=now)  # default 15
+        assert "STALE" in render_status(status, now=now,
+                                        stale_after=4.0)
+        assert "STALE" not in render_status(status, now=now,
+                                            stale_after=5.0)  # exact age
+        assert "STALE" not in render_status(status, now=now,
+                                            stale_after=60.0)
+
 
 class TestCampaignMarkdownAlerts:
     def test_report_counts_and_lists_episodes(self, store):

@@ -216,3 +216,93 @@ class TestStatusAndReport:
             pass
         assert cli_main(["campaign", "report", "a", "b", "--db", db]) == 2
         assert "no stored campaign" in capsys.readouterr().err
+
+
+class TestTimelineAndLogs:
+    @pytest.fixture
+    def traced_db(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        assert cli_main(
+            ["campaign", "run", path, "--db", db, "--trace"]
+        ) == 0
+        capsys.readouterr()
+        return db
+
+    def test_timeline_summary_and_perfetto(self, traced_db, tmp_path,
+                                           capsys):
+        assert cli_main(
+            ["campaign", "timeline", "from-file", "--db", traced_db]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "span(s)" in out and "0 still open" in out
+        # --perfetto without a value writes the default path
+        assert cli_main(
+            ["campaign", "timeline", "from-file", "--db", traced_db,
+             "--perfetto"]
+        ) == 0
+        out = capsys.readouterr().out
+        default = str(tmp_path / "from-file.timeline.perfetto.json")
+        assert default in out
+        document = json.loads(open(default, encoding="utf-8").read())
+        assert document["traceEvents"]
+        # an explicit path is honoured too
+        target = str(tmp_path / "custom.json")
+        assert cli_main(
+            ["campaign", "timeline", "from-file", "--db", traced_db,
+             "--perfetto", target]
+        ) == 0
+        capsys.readouterr()
+        assert json.loads(open(target, encoding="utf-8").read())
+
+    def test_timeline_without_spans_errors(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        assert cli_main(["campaign", "run", path, "--db", db]) == 0
+        capsys.readouterr()
+        assert cli_main(
+            ["campaign", "timeline", "from-file", "--db", db]
+        ) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_logs_filtering_and_json(self, traced_db, capsys):
+        assert cli_main(
+            ["campaign", "logs", "from-file", "--db", traced_db]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "campaign_started" in captured.out
+        assert "campaign_settled" in captured.out
+        assert "record(s)" in captured.err
+        # --tail keeps only the newest records
+        assert cli_main(
+            ["campaign", "logs", "from-file", "--db", traced_db,
+             "--tail", "1", "--json"]
+        ) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l]
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["event"] == "campaign_settled"
+        assert record["trace_id"]
+        # a worker filter that matches nothing still succeeds
+        assert cli_main(
+            ["campaign", "logs", "from-file", "--db", traced_db,
+             "--worker", "ghost"]
+        ) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_logs_without_log_dir_errors(self, tmp_path, db, capsys):
+        path = spec_file(tmp_path)
+        assert cli_main(["campaign", "run", path, "--db", db]) == 0
+        capsys.readouterr()
+        assert cli_main(
+            ["campaign", "logs", "from-file", "--db", db]
+        ) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_watch_stale_after_flag(self, traced_db, capsys):
+        # The finished heartbeat renders with any threshold (finished
+        # runs never show the banner); the flag parses end to end.
+        assert cli_main(
+            ["campaign", "watch", "from-file", "--db", traced_db,
+             "--once", "--stale-after", "0.001"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "STALE" not in out and "[finished]" in out

@@ -171,7 +171,7 @@ class TestCoordinator:
         assert "cr_fabric_lease_reclaims_total" in families
         assert "cr_fabric_leases_held" in families
         (info,) = [k for k in families["cr_fabric_build_info"]["samples"]]
-        assert 'schema="4"' in info
+        assert 'schema="5"' in info
 
     def test_survives_restart_mid_campaign(self, spec, db):
         """Coordinator loss never stalls the fabric: a fresh coordinator

@@ -132,3 +132,112 @@ def test_sigkilled_worker_points_are_reclaimed_and_completed(
         assert retried, "no orphaned point shows a takeover attempt"
         # No leases left behind once the campaign settled.
         assert store.leases(spec.name) == []
+
+
+def test_sigkilled_workers_orphan_spans_are_closed_aborted(
+    spec, tmp_path
+):
+    """Tracing under chaos: a SIGKILLed worker leaves open spans; the
+    reclaim closes its point-scoped orphans ``aborted``, the settle
+    sweep closes its session span, and the final store carries one
+    trace with no span left open."""
+    from repro.obs.log import campaign_log_path, read_campaign_logs
+
+    db = str(tmp_path / "chaos.sqlite")
+    watcher = CampaignStore(db)
+    coordinator = Coordinator(
+        spec, watcher, heartbeat_path=None, interval=0.1, ttl=TTL,
+        trace=True,
+    )
+    traceparent = coordinator.traceparent()
+    assert traceparent is not None
+
+    victim = spawn_worker(
+        spec.name, db, worker_id="victim",
+        batch=4, ttl=TTL, poll=0.05,
+        trace=True, traceparent=traceparent,
+    )
+    survivors = []
+    try:
+        def mid_lease_with_spans():
+            held = [row for row in watcher.leases(spec.name)
+                    if row["worker_id"] == "victim" and row["live"]]
+            open_leases = [
+                span for span in watcher.spans(spec.name, status="open")
+                if span["worker_id"] == "victim"
+                and span["kind"] == "lease"
+            ]
+            return len(held) >= 2 and len(open_leases) >= 2
+
+        wait_for(mid_lease_with_spans, timeout=60,
+                 message="victim to journal open lease spans")
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        orphans = [
+            span for span in watcher.spans(spec.name, status="open")
+            if span["worker_id"] == "victim"
+        ]
+        assert any(span["kind"] == "lease" for span in orphans)
+
+        survivors = [
+            spawn_worker(spec.name, db, worker_id=f"survivor-{i}",
+                         batch=2, ttl=TTL, poll=0.05,
+                         trace=True, traceparent=traceparent)
+            for i in (1, 2)
+        ]
+        stats = coordinator.run(
+            timeout=180,
+            stop=lambda: all(p.poll() is not None for p in survivors),
+        )
+    finally:
+        for proc in [victim, *survivors]:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    assert stats.complete
+
+    with CampaignStore(db) as store:
+        spans = store.spans(spec.name)
+        by_id = {span["span_id"]: span for span in spans}
+
+        # Invariant: no span left open, however the process died.
+        assert store.span_counts(spec.name).get("open", 0) == 0
+
+        # The victim's orphaned lease spans were closed `aborted` --
+        # a worker death made visible in the timeline.
+        victim_leases = [s for s in spans if s["worker_id"] == "victim"
+                         and s["kind"] == "lease"]
+        assert victim_leases
+        assert any(s["status"] == "aborted" for s in victim_leases)
+        # Its session span was swept at settle, not left dangling.
+        (session,) = [s for s in spans if s["worker_id"] == "victim"
+                      and s["kind"] == "worker"]
+        assert session["status"] == "aborted"
+
+        # Every span -- victim's, survivors', coordinator's -- shares
+        # the coordinator's trace.
+        assert {span["trace_id"] for span in spans} == {
+            traceparent.split("-")[1]
+        }
+
+        # Parenting survived the kill: run -> lease -> worker -> root.
+        (root,) = [s for s in spans if s["kind"] == "root"]
+        assert root["status"] == "ok"
+        for span in spans:
+            if span["kind"] == "run":
+                assert by_id[span["parent_id"]]["kind"] == "lease"
+            elif span["kind"] in ("lease", "renew"):
+                assert by_id[span["parent_id"]]["kind"] == "worker"
+            elif span["kind"] in ("worker", "submit"):
+                assert span["parent_id"] == root["span_id"]
+
+        # The victim's fsynced last words survived the SIGKILL.
+        log_path = campaign_log_path(db, spec.name, "victim")
+        assert os.path.exists(log_path)
+        merged = read_campaign_logs(os.path.dirname(log_path))
+        victim_events = [r["event"] for r in merged
+                        if r["worker_id"] == "victim"]
+        assert "worker_started" in victim_events
+        assert "worker_finished" not in victim_events  # it never settled

@@ -136,3 +136,179 @@ class TestDurability:
     def test_summary_empty_campaign(self, store):
         summary = store.summary("ghost")
         assert summary["ok"] == 0 and summary["failed"] == 0
+
+
+def span_row(span_id, kind="run", status="ok", worker_id="w1",
+             point_id=None, trace_id="t" * 32, parent_id=None,
+             start_ts=1.0, end_ts=2.0, **attrs):
+    return {
+        "trace_id": trace_id, "span_id": span_id,
+        "parent_id": parent_id, "name": f"{kind} {span_id}",
+        "kind": kind, "worker_id": worker_id, "point_id": point_id,
+        "start_ts": start_ts,
+        "end_ts": None if status == "open" else end_ts,
+        "status": status, "attrs": attrs,
+    }
+
+
+class TestSpanJournal:
+    def test_record_and_read_back(self, store, spec):
+        store.register(spec)
+        store.record_spans("s", [
+            span_row("a" * 16, kind="root", status="open", end_ts=None,
+                     worker_id="coordinator", executor="fabric"),
+            span_row("b" * 16, kind="run", point_id="p1",
+                     parent_id="a" * 16, start_ts=1.5, attempt=1),
+        ])
+        spans = store.spans("s")
+        assert [s["span_id"] for s in spans] == ["a" * 16, "b" * 16]
+        assert spans[0]["attrs"] == {"executor": "fabric"}
+        assert spans[1]["parent_id"] == "a" * 16
+        assert store.span_counts("s") == {"open": 1, "ok": 1}
+        assert store.spans("s", point_id="p1")[0]["span_id"] == "b" * 16
+        assert store.spans("s", status="open")[0]["kind"] == "root"
+
+    def test_open_spans_update_closed_spans_are_immutable(self, store, spec):
+        store.register(spec)
+        store.record_spans("s", [span_row("a" * 16, kind="lease",
+                                          status="open", end_ts=None)])
+        # re-journaling an open span refreshes it (lease renewal)
+        store.record_spans("s", [span_row("a" * 16, kind="lease",
+                                          status="ok", end_ts=9.0)])
+        (span,) = store.spans("s")
+        assert span["status"] == "ok" and span["end_ts"] == 9.0
+        # ... but a late write against the now-closed span is dropped:
+        # a zombie worker cannot flip an aborted/closed span back open
+        store.record_spans("s", [span_row("a" * 16, kind="lease",
+                                          status="open", end_ts=None)])
+        (span,) = store.spans("s")
+        assert span["status"] == "ok" and span["end_ts"] == 9.0
+
+    def test_fenced_result_write_discards_its_spans(self, store, spec):
+        store.register(spec)
+        points = list(spec.points())
+        (lease,) = store.acquire_leases(
+            "s", "w1", [(points[0].point_id, None)], 1, ttl=60.0,
+            now=100.0,
+        )
+        # the write fences on (worker, attempt); a stale fence loses
+        wrote = store.record_success(
+            "s", points[0], {"latency_mean": 1.0}, 0.1,
+            fence=("ghost", lease.attempt),
+            spans=[span_row("a" * 16, point_id=points[0].point_id)],
+        )
+        assert not wrote
+        assert store.spans("s") == []
+        # the current owner's write lands, spans and all
+        wrote = store.record_success(
+            "s", points[0], {"latency_mean": 1.0}, 0.1,
+            fence=("w1", lease.attempt),
+            spans=[span_row("a" * 16, point_id=points[0].point_id)],
+        )
+        assert wrote
+        assert len(store.spans("s")) == 1
+
+    def test_reclaim_closes_the_dead_owners_open_spans(self, store, spec):
+        store.register(spec)
+        points = list(spec.points())
+        candidates = [(points[0].point_id, None)]
+        (lease,) = store.acquire_leases("s", "dead", candidates, 1,
+                                        ttl=10.0, now=100.0)
+        store.record_spans("s", [
+            span_row("a" * 16, kind="lease", status="open",
+                     end_ts=None, worker_id="dead",
+                     point_id=points[0].point_id),
+            span_row("b" * 16, kind="run", status="open", end_ts=None,
+                     worker_id="dead", point_id=points[0].point_id),
+            span_row("c" * 16, kind="worker", status="open",
+                     end_ts=None, worker_id="dead"),
+        ])
+        # past the TTL another worker takes over; the transfer closes
+        # the dead owner's open spans *for that point* as aborted
+        (taken,) = store.acquire_leases("s", "w2", candidates, 1,
+                                        ttl=10.0, now=200.0)
+        assert taken.reclaimed and taken.worker_id == "w2"
+        by_id = {s["span_id"]: s for s in store.spans("s")}
+        assert by_id["a" * 16]["status"] == "aborted"
+        assert by_id["a" * 16]["end_ts"] == 200.0
+        assert by_id["b" * 16]["status"] == "aborted"
+        # the worker's session span is not point-scoped: untouched here
+        assert by_id["c" * 16]["status"] == "open"
+
+    def test_close_open_spans_sweep(self, store, spec):
+        store.register(spec)
+        store.record_spans("s", [
+            span_row("a" * 16, kind="root", status="open", end_ts=None,
+                     worker_id="coordinator"),
+            span_row("b" * 16, kind="worker", status="open",
+                     end_ts=None, worker_id="w1"),
+            span_row("c" * 16, kind="run", status="ok"),
+        ])
+        assert store.close_open_spans("s", now=50.0) == 2
+        assert store.span_counts("s") == {"aborted": 2, "ok": 1}
+        assert store.close_open_spans("s") == 0
+
+    def test_open_root_span_lookup(self, store, spec):
+        store.register(spec)
+        assert store.open_root_span("s") is None
+        store.record_spans("s", [
+            span_row("a" * 16, kind="root", status="open", end_ts=None,
+                     worker_id="coordinator"),
+        ])
+        root = store.open_root_span("s")
+        assert root["span_id"] == "a" * 16
+        store.close_open_spans("s")
+        assert store.open_root_span("s") is None
+
+    def test_delete_campaign_covers_spans(self, store, spec):
+        store.register(spec)
+        store.record_spans("s", [span_row("a" * 16)])
+        store.delete_campaign("s")
+        assert store.spans("s") == []
+
+    def test_heartbeat_carries_span_and_tallies(self, store, spec):
+        store.register(spec)
+        store.worker_heartbeat("s", "w1", span="run p1 aaaaaaaa",
+                               spans=7, logs=12)
+        (row,) = store.workers("s")
+        assert row["span"] == "run p1 aaaaaaaa"
+        assert row["spans"] == 7 and row["logs"] == 12
+
+
+class TestSchemaMigration:
+    def test_v4_workers_table_gains_span_columns(self, tmp_path):
+        # A store created before schema v5 has a workers table without
+        # span/spans/logs; CREATE TABLE IF NOT EXISTS will not add
+        # them, so opening must migrate via ALTER TABLE.
+        path = str(tmp_path / "old.sqlite")
+        conn = sqlite3.connect(path)
+        conn.execute("""
+            CREATE TABLE workers (
+                campaign   TEXT NOT NULL,
+                worker_id  TEXT NOT NULL,
+                pid        INTEGER,
+                host       TEXT NOT NULL DEFAULT '',
+                state      TEXT NOT NULL DEFAULT 'running',
+                started_at REAL NOT NULL,
+                last_seen  REAL NOT NULL,
+                done       INTEGER NOT NULL DEFAULT 0,
+                failed     INTEGER NOT NULL DEFAULT 0,
+                leases     INTEGER NOT NULL DEFAULT 0,
+                reclaims   INTEGER NOT NULL DEFAULT 0,
+                PRIMARY KEY (campaign, worker_id)
+            )
+        """)
+        conn.execute(
+            "INSERT INTO workers (campaign, worker_id, started_at, "
+            "last_seen) VALUES ('s', 'w1', 1.0, 2.0)"
+        )
+        conn.commit()
+        conn.close()
+        with CampaignStore(path) as store:
+            (row,) = store.workers("s")
+            assert row["span"] == "" and row["spans"] == 0
+            assert row["logs"] == 0
+            store.worker_heartbeat("s", "w1", span="x y", spans=1,
+                                   logs=2)
+            (row,) = store.workers("s")
+            assert row["spans"] == 1

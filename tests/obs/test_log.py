@@ -1,0 +1,177 @@
+"""Structured logging: levels, trace correlation, merge, filtering."""
+
+import os
+
+import pytest
+
+from repro.obs.log import (
+    LOG_LEVELS,
+    StructuredLogger,
+    campaign_log_dir,
+    campaign_log_path,
+    filter_log_records,
+    format_log_record,
+    level_rank,
+    read_campaign_logs,
+)
+from repro.obs.metrics import MetricsRegistry, parse_prometheus_text
+from repro.obs.sinks import read_jsonl
+from repro.obs.trace import Tracer
+
+
+class TestStructuredLogger:
+    def test_record_shape(self):
+        logger = StructuredLogger(worker_id="w1", clock=lambda: 42.5)
+        logger.info("batch_leased", points=3, reclaimed=1)
+        record = logger.records[0]
+        assert record == {
+            "ts": 42.5, "level": "info", "worker_id": "w1",
+            "trace_id": None, "span_id": None,
+            "event": "batch_leased", "points": 3, "reclaimed": 1,
+        }
+
+    def test_level_threshold_drops_below(self):
+        logger = StructuredLogger(level="warning")
+        logger.debug("a")
+        logger.info("b")
+        logger.warning("c")
+        logger.error("d")
+        assert [r["event"] for r in logger.records] == ["c", "d"]
+        assert logger.written == 2
+
+    def test_unknown_threshold_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            StructuredLogger(level="loud")
+
+    def test_trace_correlation(self):
+        tracer = Tracer(worker_id="w1")
+        logger = StructuredLogger(worker_id="w1", tracer=tracer)
+        span = tracer.start_span("lease p1", kind="lease")
+        logger.info("in_span")
+        tracer.end_span(span, "ok")
+        logger.info("after_span")
+        inside, after = logger.records
+        assert inside["trace_id"] == span.trace_id
+        assert inside["span_id"] == span.span_id
+        # rootless tracer with nothing open: no ids to stamp
+        assert after["trace_id"] is None
+        assert after["span_id"] is None
+
+    def test_trace_id_survives_between_spans_with_root(self):
+        root_tracer = Tracer(worker_id="coord")
+        root = root_tracer.start_span("campaign", kind="root")
+        tracer = Tracer(worker_id="w1", root=root.context())
+        logger = StructuredLogger(worker_id="w1", tracer=tracer)
+        logger.info("between_spans")
+        assert logger.records[0]["trace_id"] == root.trace_id
+        assert logger.records[0]["span_id"] is None
+
+    def test_registry_counts_by_level(self):
+        registry = MetricsRegistry(prefix="cr_")
+        logger = StructuredLogger(registry=registry, level="debug")
+        logger.info("a")
+        logger.info("b")
+        logger.error("c")
+        families = parse_prometheus_text(registry.prometheus_text())
+        samples = families["cr_log_records_total"]["samples"]
+        assert samples['cr_log_records_total{level="info"}'] == 2
+        assert samples['cr_log_records_total{level="error"}'] == 1
+
+    def test_durable_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "w1.jsonl")
+        with StructuredLogger(path, worker_id="w1") as logger:
+            logger.info("worker_started")
+            logger.warning("lease_lost", point="p3")
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == [
+            "worker_started", "lease_lost",
+        ]
+        assert records[1]["point"] == "p3"
+
+    def test_level_rank_order(self):
+        ranks = [level_rank(level) for level in LOG_LEVELS]
+        assert ranks == sorted(ranks)
+        assert level_rank("unheard-of") == level_rank("debug")
+
+
+class TestCampaignLogFiles:
+    def test_dir_and_path_layout(self, tmp_path):
+        db = str(tmp_path / "camp.sqlite")
+        assert campaign_log_dir(db, "c1") == str(tmp_path / "c1.logs")
+        assert campaign_log_path(db, "c1", "worker-1") == str(
+            tmp_path / "c1.logs" / "worker-1.jsonl"
+        )
+        # hostile worker ids cannot escape the directory
+        weird = campaign_log_path(db, "c1", "../../etc/passwd")
+        assert os.path.dirname(weird) == str(tmp_path / "c1.logs")
+        assert campaign_log_path(db, "c1", "") .endswith("unnamed.jsonl")
+
+    def test_memory_store_has_no_dir(self):
+        assert campaign_log_dir(":memory:", "c1") is None
+        assert campaign_log_path(":memory:", "c1", "w") is None
+
+    def test_merge_sorts_across_files(self, tmp_path):
+        db = str(tmp_path / "camp.sqlite")
+        clock_a = iter([3.0, 5.0])
+        clock_b = iter([4.0])
+        with StructuredLogger(campaign_log_path(db, "c1", "a"),
+                              worker_id="a",
+                              clock=lambda: next(clock_a)) as logger:
+            logger.info("first")
+            logger.info("third")
+        with StructuredLogger(campaign_log_path(db, "c1", "b"),
+                              worker_id="b",
+                              clock=lambda: next(clock_b)) as logger:
+            logger.info("second")
+        merged = read_campaign_logs(campaign_log_dir(db, "c1"))
+        assert [r["event"] for r in merged] == [
+            "first", "second", "third",
+        ]
+        assert [r["worker_id"] for r in merged] == ["a", "b", "a"]
+
+
+class TestFilterAndFormat:
+    RECORDS = [
+        {"ts": 1.0, "level": "debug", "worker_id": "w1",
+         "trace_id": "abcd" * 8, "span_id": None, "event": "a"},
+        {"ts": 2.0, "level": "warning", "worker_id": "w2",
+         "trace_id": "ffff" * 8, "span_id": None, "event": "b"},
+        {"ts": 3.0, "level": "error", "worker_id": "w1",
+         "trace_id": None, "span_id": None, "event": "c"},
+    ]
+
+    def test_by_worker(self):
+        out = filter_log_records(self.RECORDS, worker="w1")
+        assert [r["event"] for r in out] == ["a", "c"]
+
+    def test_level_is_a_floor(self):
+        out = filter_log_records(self.RECORDS, level="warning")
+        assert [r["event"] for r in out] == ["b", "c"]
+
+    def test_by_trace_prefix(self):
+        out = filter_log_records(self.RECORDS, trace="abcd")
+        assert [r["event"] for r in out] == ["a"]
+        assert filter_log_records(self.RECORDS,
+                                  trace="abcd" * 8) == [self.RECORDS[0]]
+        # a sub-4-char prefix is too ambiguous: exact match only
+        assert filter_log_records(self.RECORDS, trace="abc") == []
+
+    def test_filters_compose(self):
+        out = filter_log_records(self.RECORDS, worker="w1",
+                                 level="error")
+        assert [r["event"] for r in out] == ["c"]
+
+    def test_format_line(self):
+        line = format_log_record({
+            "ts": 30.25, "level": "info", "worker_id": "w1",
+            "trace_id": "ab" * 16, "span_id": "cd" * 8,
+            "event": "batch_leased", "points": 2,
+        })
+        assert "INFO" in line
+        assert "w1" in line
+        assert "batch_leased points=2" in line
+        assert f"[span {'cd' * 4}]" in line
+
+    def test_format_tolerates_missing_fields(self):
+        line = format_log_record({})
+        assert line.startswith("?")

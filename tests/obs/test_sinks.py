@@ -1,6 +1,12 @@
 """Sinks: ring buffer semantics, JSONL round-trips, artifact parsing."""
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import warnings
 
 import pytest
 
@@ -124,6 +130,129 @@ class TestJsonlSink:
         path.write_text('{"event": "A"}\n{oops}\n')
         with pytest.raises(json.JSONDecodeError):
             read_jsonl(str(path))
+
+
+class TestReadResultTruncation:
+    @staticmethod
+    def _truncated_file(tmp_path, name):
+        path = tmp_path / name
+        path.write_text('{"event": "A"}\n{"event": "B", "cy')
+        return str(path)
+
+    def test_per_call_truncated_attribute(self, tmp_path):
+        path = self._truncated_file(tmp_path, "one.jsonl")
+        with pytest.warns(RuntimeWarning):
+            result = read_jsonl(path)
+        assert result.truncated == 1
+        assert [e["event"] for e in result] == ["A"]
+        # a clean file reports zero
+        clean = tmp_path / "clean.jsonl"
+        clean.write_text('{"event": "A"}\n')
+        assert read_jsonl(str(clean)).truncated == 0
+
+    def test_result_is_still_a_plain_list(self, tmp_path):
+        clean = tmp_path / "clean.jsonl"
+        clean.write_text('{"event": "A"}\n')
+        result = read_jsonl(str(clean))
+        assert isinstance(result, list)
+        assert result + [{"event": "B"}] == [{"event": "A"},
+                                             {"event": "B"}]
+
+    def test_concurrent_readers_do_not_race(self, tmp_path):
+        # The deprecated module-global tally used to be a bare += on a
+        # module attribute: N threads reading truncated traces could
+        # interleave the read-modify-write and lose counts.  Each call
+        # now reports its own ReadResult.truncated, and the global
+        # (kept as a deprecated alias) is locked so the total stays
+        # exact.
+        from repro.obs import sinks
+
+        paths = [self._truncated_file(tmp_path, f"t{i}.jsonl")
+                 for i in range(8)]
+        results = [None] * len(paths)
+        barrier = threading.Barrier(len(paths))
+
+        def reader(index):
+            barrier.wait()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                results[index] = read_jsonl(paths[index])
+
+        before = sinks.truncated_line_count
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(len(paths))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert [r.truncated for r in results] == [1] * len(paths)
+        assert all([e["event"] for e in r] == ["A"] for r in results)
+        assert sinks.truncated_line_count == before + len(paths)
+
+
+class TestFsyncDurability:
+    def test_fsync_every_n_schedule(self, tmp_path):
+        # With fsync_every=2 the sink syncs after records 2 and 4; the
+        # schedule is observable via monkeypatched os.fsync below.
+        synced = []
+        real_fsync = os.fsync
+        try:
+            import repro.obs.sinks as sinks_mod
+
+            sinks_mod.os.fsync = lambda fd: synced.append(fd)
+            with JsonlSink(str(tmp_path / "t.jsonl"),
+                           fsync_every=2) as sink:
+                for cycle in range(5):
+                    sink.write({"cycle": cycle})
+            assert len(synced) == 2
+        finally:
+            sinks_mod.os.fsync = real_fsync
+
+    def test_sigkilled_writer_loses_at_most_the_open_record(self, tmp_path):
+        # Reuses the chaos harness's kill shape: a subprocess writes
+        # durably (fsync_every=1), leaves a partial line in the OS
+        # file buffer, and SIGKILLs itself — no atexit, no flush.  The
+        # reader must recover every fsynced record and drop only the
+        # torn tail.
+        path = tmp_path / "killed.jsonl"
+        script = f"""
+import json, os, signal
+import repro.obs.sinks as sinks
+sink = sinks.JsonlSink({str(path)!r}, fsync_every=1)
+for cycle in range(5):
+    sink.write({{"event": "beat", "cycle": cycle}})
+# a record the writer never finishes: no newline, no fsync
+sink._handle.write('{{"event": "beat", "cy')
+sink._handle.flush()
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"),
+                        os.path.join(os.path.dirname(__file__),
+                                     "..", "..", "src"))
+            if p
+        )
+        proc = subprocess.run([sys.executable, "-c", script], env=env)
+        assert proc.returncode == -signal.SIGKILL
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            events = read_jsonl(str(path))
+        assert events.truncated == 1
+        assert [e["cycle"] for e in events] == [0, 1, 2, 3, 4]
+
+    def test_default_stays_buffered(self, tmp_path):
+        synced = []
+        try:
+            import repro.obs.sinks as sinks_mod
+
+            real_fsync = sinks_mod.os.fsync
+            sinks_mod.os.fsync = lambda fd: synced.append(fd)
+            with JsonlSink(str(tmp_path / "t.jsonl")) as sink:
+                for cycle in range(10):
+                    sink.write({"cycle": cycle})
+        finally:
+            sinks_mod.os.fsync = real_fsync
+        assert synced == []
 
 
 class TestFilterEvents:
